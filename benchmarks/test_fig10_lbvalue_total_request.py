@@ -1,0 +1,75 @@
+"""Fig. 10(a-b) — lb_value traces explain the total_request instability.
+
+Paper: (a) a huge queue peak on the stalled Tomcat; (b) the stalled
+candidate holds the *lowest* lb_value throughout the millibottleneck
+(which is why everything is sent to it) and the *highest* growth during
+recovery (as the accumulated requests finally get processed).
+
+Shape to reproduce: stalled member's lb_value <= every healthy
+member's during the stall, and the largest lb_value increase during
+recovery — on every Apache.
+"""
+
+from conftest import (
+    BENCH_SEED,
+    FIGURE_DURATION,
+    banner,
+    run_experiment,
+    strongest_funnel_stall,
+)
+
+from repro.analysis import peak_growth, segment, timeline
+from repro.cluster.scenarios import policy_run
+
+
+def check_lb_pattern(benchmark, bundle_key, label,
+                     check_recovery_peak=True):
+    config = policy_run(bundle_key, duration=FIGURE_DURATION,
+                        seed=BENCH_SEED)
+    result = run_experiment(benchmark, config, label)
+    record = strongest_funnel_stall(result)
+    phases = segment(record, recovery=0.3)
+
+    banner("{}: lb_values around the {} stall at t={:.2f}s".format(
+        label, record.host, record.started_at))
+    balancer = result.system.balancers[0]
+    for member in balancer.members:
+        window = member.lb_trace.slice(record.started_at - 0.3,
+                                       record.ended_at + 0.6)
+        print(timeline(window, label=member.name))
+
+    # Probe at the stall's end: by then the healthy members' lb_values
+    # have pulled ahead on every Apache regardless of where the stalled
+    # member's value sat when the flush began.
+    probe = record.ended_at
+    recovery_start, recovery_end = phases.recovery
+    for balancer in result.system.balancers:
+        # (b) lowest lb_value during the stall...
+        values = {member.name: member.lb_trace.value_at(probe)
+                  for member in balancer.members}
+        stalled_value = values.pop(record.host)
+        assert stalled_value <= min(values.values()), balancer.name
+        # ...and (for the request-count policy, whose recovery burst
+        # Fig. 10(b) narrates as the "red peak") the sharpest lb_value
+        # jump during recovery: the stuck requests flush through in a
+        # burst, so the stalled member's peak growth rate towers over
+        # the healthy members' steady rotation increments.
+        if check_recovery_peak:
+            rates = {
+                member.name: peak_growth(member.lb_trace, recovery_start,
+                                         recovery_end + 0.3)
+                for member in balancer.members
+            }
+            assert max(rates, key=rates.get) == record.host, balancer.name
+    return result, record
+
+
+def test_fig10_lb_values_total_request(benchmark):
+    result, record = check_lb_pattern(
+        benchmark, "original_total_request", "fig10 total_request")
+    # (a) the stalled Tomcat's queue spikes well above normal.
+    queue = result.queue_series[record.host]
+    stall_peak = queue.slice(record.started_at,
+                             record.ended_at + 0.3).max()
+    normal = queue.slice(1.5, record.started_at - 0.5).mean()
+    assert stall_peak > 4 * max(normal, 1.0)

@@ -1,0 +1,35 @@
+"""Fig. 1 — point-in-time response time without millibottlenecks.
+
+Paper: total_request in a millibottleneck-free environment achieves
+3.2 ms average response time with 13 VLRT requests out of 1.8 M, and a
+flat point-in-time response-time plot.
+
+Shape to reproduce: single-digit-ms average, essentially zero VLRT, no
+response-time spikes.
+"""
+
+from conftest import BENCH_SEED, FIGURE_DURATION, banner, run_experiment
+
+from repro.analysis import timeline
+from repro.cluster.scenarios import baseline_no_millibottleneck
+
+
+def test_fig1_baseline_point_in_time_rt(benchmark):
+    config = baseline_no_millibottleneck(duration=FIGURE_DURATION,
+                                         seed=BENCH_SEED)
+    result = run_experiment(benchmark, config, "fig1")
+    stats = result.stats()
+    rt = result.point_in_time_rt()
+
+    banner("Fig. 1: point-in-time response time, total_request, "
+           "no millibottlenecks")
+    print(timeline(rt, label="response time", unit=" s"))
+    print("average RT: {:.2f} ms (paper: 3.2 ms)".format(stats.mean_ms))
+    print("VLRT count: {} of {} (paper: 13 of 1.8 M)".format(
+        stats.vlrt_count, stats.count))
+
+    # Shape: flat and fast.
+    assert stats.mean_ms < 10.0
+    assert stats.vlrt_count == 0
+    assert rt.max() < 0.1
+    assert result.system.millibottleneck_records() == []

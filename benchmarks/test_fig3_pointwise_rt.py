@@ -1,0 +1,44 @@
+"""Fig. 3 — point-in-time response time of the stock policies.
+
+Paper: under both total_request and total_traffic, the point-in-time
+response time fluctuates violently, with spikes of one second and
+more, even though the whole-run averages look acceptable (<100 ms).
+
+Shape to reproduce: multi-second spikes against a milliseconds
+baseline for both policies.
+"""
+
+from conftest import BENCH_SEED, FIGURE_DURATION, banner, run_experiment
+
+from repro.analysis import timeline
+from repro.cluster.scenarios import policy_run
+
+
+def run_policy(benchmark, key):
+    config = policy_run(key, duration=FIGURE_DURATION, seed=BENCH_SEED,
+                        trace=False)
+    return run_experiment(benchmark, config, "fig3:" + key)
+
+
+def check_fluctuation(result, key):
+    stats = result.stats()
+    rt = result.point_in_time_rt()
+    print(timeline(rt, label=key, unit=" s"))
+    print("  avg {:.1f} ms, max {:.2f} s".format(stats.mean_ms, rt.max()))
+    # Acceptable average, violent spikes: the paper's core observation
+    # that averages hide the long tail.
+    assert stats.mean_ms < 150.0
+    assert rt.max() > 1.0
+    assert rt.max() > 100 * stats.median
+
+
+def test_fig3_total_request(benchmark):
+    banner("Fig. 3: point-in-time response time (total_request)")
+    check_fluctuation(run_policy(benchmark, "original_total_request"),
+                      "total_request")
+
+
+def test_fig3_total_traffic(benchmark):
+    banner("Fig. 3: point-in-time response time (total_traffic)")
+    check_fluctuation(run_policy(benchmark, "original_total_traffic"),
+                      "total_traffic")

@@ -1,0 +1,45 @@
+"""Fig. 4 — frequency of requests by response time.
+
+Paper: the response-time distribution under the stock policies is
+bimodal — the bulk of requests finish in milliseconds, and three VLRT
+clusters sit near 1 s, 2 s and 3 s (TCP retransmission periods).
+
+Shape to reproduce: dominant sub-10 ms mass; a non-empty 1 s cluster;
+cluster sizes non-increasing with retransmission count.
+"""
+
+from conftest import BENCH_SEED, banner, run_experiment
+
+from repro.analysis import histogram
+from repro.cluster.scenarios import policy_run
+from repro.metrics import ResponseTimeDistribution
+
+#: Longer horizon so second/third retransmissions complete in-window.
+DURATION = 16.0
+
+
+def test_fig4_response_time_distribution(benchmark):
+    config = policy_run("original_total_request", duration=DURATION,
+                        seed=BENCH_SEED, trace=False)
+    result = run_experiment(benchmark, config, "fig4")
+
+    dist = ResponseTimeDistribution(low=0.001, high=8.0,
+                                    buckets_per_decade=8)
+    dist.add_all(result.recorder.response_times)
+    clusters = dist.vlrt_clusters(targets=(1.0, 2.0, 3.0))
+
+    banner("Fig. 4: frequency of requests by response time "
+           "(total_request)")
+    print(histogram(dist.rows()))
+    print("VLRT clusters: 1s={} 2s={} 3s={} (paper: 3 clusters at "
+          "1 s/2 s/3 s)".format(clusters[1.0], clusters[2.0],
+                                clusters[3.0]))
+
+    fast_mass = dist.mass_between(0.001, 0.010)
+    assert fast_mass > 0.5 * dist.total       # milliseconds dominate
+    assert clusters[1.0] > 0                  # first retransmit cluster
+    assert clusters[1.0] >= clusters[2.0]     # decaying with retries
+    assert clusters[2.0] >= clusters[3.0]
+    # Retransmission is the cause: VLRT requests carry retransmissions.
+    vlrt = result.recorder.vlrt_requests()
+    assert sum(1 for r in vlrt if r.retransmissions > 0) > 0.9 * len(vlrt)

@@ -1,0 +1,78 @@
+"""Fig. 6(a-c) — total_request instability during a millibottleneck.
+
+Paper: (a) VLRT requests cluster in 50 ms windows around the stall;
+(b) the stalled Tomcat's transient CPU saturation coincides with its
+queue peak; (c) the workload-distribution plot shows all requests
+routed to the stalled Tomcat during the millibottleneck, with a
+four-phase pattern (normal / funnel / recovery / normal).
+
+Shape to reproduce: the funnel — during the stall, the overwhelming
+majority of scheduling decisions target the stalled member on every
+Apache — plus VLRT windows and CPU/queue coincidence.
+"""
+
+from conftest import (
+    BENCH_SEED,
+    FIGURE_DURATION,
+    banner,
+    run_experiment,
+    strongest_funnel_stall,
+)
+
+from repro.analysis import (
+    funnel_fraction,
+    lock_on_fraction,
+    segment,
+    timeline,
+)
+from repro.cluster.scenarios import policy_run
+
+
+def check_instability(benchmark, bundle_key, label):
+    config = policy_run(bundle_key, duration=FIGURE_DURATION,
+                        seed=BENCH_SEED)
+    result = run_experiment(benchmark, config, label)
+    record = strongest_funnel_stall(result)
+    phases = segment(record)
+
+    banner("{}: instability around the {} stall at t={:.2f}s".format(
+        label, record.host, record.started_at))
+    print(timeline(result.vlrt_windows(), label="(a) VLRT/50ms"))
+    print(timeline(result.cpu_utilization(record.host),
+                   label="(b) {} cpu".format(record.host)))
+    print(timeline(result.queue_series[record.host],
+                   label="(b) {} q".format(record.host)))
+    stall_window = (record.started_at, record.ended_at)
+    for balancer in result.system.balancers:
+        fraction = funnel_fraction(balancer, record.host, stall_window)
+        lock_on = lock_on_fraction(balancer, record.host, stall_window)
+        print("(c) {}: {:.0%} of stall-window picks -> stalled {}; "
+              "lock-on tail {:.0%}".format(
+                  balancer.name, fraction, record.host, lock_on))
+
+    # (a) VLRT requests appear, concentrated after stalls.
+    assert result.stats().vlrt_count > 0
+    # (b) the stalled host saturates during the stall.
+    cpu = result.cpu_utilization(record.host)
+    mid = (record.started_at + record.ended_at) / 2
+    assert cpu.value_at(mid - 0.025) > 0.9
+    # (c) the funnel: on every Apache the stalled member draws the
+    # plurality of stall-window picks, and once its endpoints exhaust,
+    # the tail of the pick sequence targets it exclusively — followed
+    # by total starvation as every worker gets stuck on it.
+    for balancer in result.system.balancers:
+        counts = balancer.picks_between(*stall_window)
+        stalled_count = counts.pop(record.host)
+        assert stalled_count >= max(counts.values()), balancer.name
+        assert lock_on_fraction(balancer, record.host,
+                                stall_window) > 0.8, balancer.name
+    # ...and the distribution is even again after recovery.
+    for balancer in result.system.balancers:
+        after = balancer.distribution_between(*phases.normal_after)
+        assert all(count > 0 for count in after.values())
+    return result
+
+
+def test_fig6_total_request_instability(benchmark):
+    check_instability(benchmark, "original_total_request",
+                      "fig6 total_request")

@@ -1,0 +1,18 @@
+"""Fig. 7(a-c) — total_traffic instability during a millibottleneck.
+
+Paper: the total_traffic policy exhibits exactly the same instability
+as total_request — all requests get routed to the Tomcat with the
+millibottleneck until it resolves.
+
+Shape to reproduce: same funnel pattern as Fig. 6 under the byte-based
+policy.
+"""
+
+from test_fig6_total_request_instability import check_instability
+
+
+def test_fig7_total_traffic_instability(benchmark):
+    result = check_instability(benchmark, "original_total_traffic",
+                               "fig7 total_traffic")
+    # total_traffic was the worse of the two stock policies in Table I.
+    assert result.stats().vlrt_fraction > 0.005

@@ -1,0 +1,76 @@
+"""Table I — the six policy/mechanism combinations, head to head.
+
+Paper (Table I, 1.8 M requests each):
+
+    Original total_request                 41.00 ms   5.33% VLRT
+    Original total_traffic                 55.50 ms   6.89% VLRT
+    Current_load                            3.62 ms   0.21% VLRT
+    Total_request + modified get_endpoint   4.87 ms   0.55% VLRT
+    Total_traffic + modified get_endpoint   5.87 ms   0.76% VLRT
+    Current_load  + modified get_endpoint   3.60 ms   0.20% VLRT
+
+Shape to reproduce: each remedy (policy-level or mechanism-level)
+independently collapses both the average response time (paper: ~12x)
+and the VLRT percentage (paper: >95 % of VLRT gone); total_traffic is
+no better than total_request; combining both remedies adds nothing.
+"""
+
+from conftest import BENCH_SEED, banner
+
+from repro.analysis import (
+    improvement_factors,
+    shape_check,
+    table1,
+    table1_with_paper,
+)
+from repro.cluster.runner import compare_policies
+from repro.core.remedies import TABLE1_BUNDLES
+
+#: Longer run than the figure benches: Table I is the headline number.
+DURATION = 16.0
+
+
+def test_table1_policy_comparison(benchmark):
+    results_box = {}
+
+    def work():
+        results_box["results"] = compare_policies(
+            [bundle.key for bundle in TABLE1_BUNDLES],
+            duration=DURATION, seed=BENCH_SEED)
+
+    benchmark.pedantic(work, rounds=1, iterations=1)
+    results = results_box["results"]
+
+    banner("Table I: policy/mechanism comparison ({} simulated seconds "
+           "per run)".format(DURATION))
+    print(table1(results))
+    print()
+    print(table1_with_paper(results))
+    factors = improvement_factors(results)
+    print()
+    print("avg-RT improvement vs original total_request "
+          "(paper: 12x for current_load):")
+    for key, factor in factors.items():
+        print("  {:32s} {:6.1f}x".format(key, factor))
+
+    for result in results:
+        row = result.table1_row()
+        benchmark.extra_info[result.config.bundle_key] = row
+
+    checks = shape_check(results)
+    assert all(checks.values()), checks
+
+    by_key = {r.config.bundle_key: r.stats() for r in results}
+    # The stock policies exhibit a serious long tail...
+    assert by_key["original_total_request"].vlrt_fraction > 0.01
+    assert by_key["original_total_traffic"].vlrt_fraction > 0.01
+    # ...which each remedy removes almost entirely (paper: >95 %).
+    for remedied in ("current_load", "total_request_modified",
+                     "total_traffic_modified", "current_load_modified"):
+        assert (by_key[remedied].vlrt_fraction
+                < 0.05 * by_key["original_total_request"].vlrt_fraction)
+    # Average RT improves by an order of magnitude (paper: 12x).
+    assert factors["current_load"] > 5
+    assert factors["total_request_modified"] > 5
+    # Combining remedies is not meaningfully better than the best single.
+    assert factors["current_load_modified"] < 3 * factors["current_load"]

@@ -1,0 +1,93 @@
+"""Terminal rendering of time series and histograms.
+
+The example scripts print the paper's figures as ASCII timelines —
+no plotting dependency, inspectable in any terminal or CI log.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.errors import AnalysisError
+from repro.metrics.timeseries import TimeSeries
+
+_BARS = " ▁▂▃▄▅▆▇█"
+
+
+def sparkline(values: Sequence[float], maximum: float | None = None) -> str:
+    """One-line bar chart of ``values``."""
+    values = list(values)
+    if not values:
+        return ""
+    top = maximum if maximum is not None else max(values)
+    if top <= 0:
+        return _BARS[0] * len(values)
+    out = []
+    for value in values:
+        level = int(round((len(_BARS) - 1) * min(value, top) / top))
+        out.append(_BARS[level])
+    return "".join(out)
+
+
+def timeline(series: TimeSeries, width: int = 100,
+             label: str | None = None, unit: str = "") -> str:
+    """Render a series as a labelled sparkline, resampled to ``width``."""
+    if width < 10:
+        raise AnalysisError("width must be >= 10")
+    if not len(series):
+        return "{}: (empty)".format(label or series.name)
+    times, values = series.times, series.values
+    span = times[-1] - times[0]
+    if span <= 0 or len(series) <= width:
+        sampled = values
+    else:
+        window = span / width
+        sampled = []
+        edge = times[0] + window
+        bucket: list[float] = []
+        for time, value in series:
+            while time >= edge and bucket:
+                sampled.append(max(bucket))
+                bucket = []
+                edge += window
+            bucket.append(value)
+        if bucket:
+            sampled.append(max(bucket))
+    name = label or series.name
+    return "{:<16s} |{}| max={:.3g}{}".format(
+        name, sparkline(sampled), max(values), unit)
+
+
+def histogram(rows: Sequence[tuple[float, float, int]],
+              width: int = 50) -> str:
+    """Render (low, high, count) bucket rows as horizontal bars."""
+    if not rows:
+        return "(empty histogram)"
+    top = max(count for _, _, count in rows)
+    lines = []
+    for low, high, count in rows:
+        if count == 0:
+            continue
+        bar = "#" * max(1, int(width * count / top)) if top else ""
+        lines.append("{:>9.3f}s - {:>8.3f}s | {:<{}s} {}".format(
+            low, high, bar, width, count))
+    return "\n".join(lines) if lines else "(all buckets empty)"
+
+
+def table(headers: Sequence[str], rows: Sequence[Sequence[object]]) -> str:
+    """Render a fixed-width text table."""
+    columns = [[str(header)] for header in headers]
+    for row in rows:
+        if len(row) != len(headers):
+            raise AnalysisError("row width does not match headers")
+        for column, cell in zip(columns, row):
+            column.append(str(cell))
+    widths = [max(len(cell) for cell in column) for column in columns]
+    def render(cells):
+        return "  ".join(cell.ljust(width)
+                         for cell, width in zip(cells, widths)).rstrip()
+    lines = [render([column[0] for column in columns])]
+    lines.append("  ".join("-" * width for width in widths))
+    for i in range(1, len(columns[0])):
+        lines.append(render([column[i] for column in columns]))
+    return "\n".join(lines)

@@ -1,0 +1,136 @@
+"""Phase segmentation around a millibottleneck (§III-C).
+
+The paper narrates one Tomcat1 stall in four phases:
+
+1. **normal** — load spread evenly;
+2. **millibottleneck** — all requests funnel into the stalled server;
+3. **recovery** — the backlog drains; the balancer compensates by
+   preferring the previously-starved healthy servers;
+4. **normal** again.
+
+:func:`segment` derives those four windows from a ground-truth stall
+record; :func:`funnel_fraction` and :func:`distribution_by_phase`
+quantify what each figure shows qualitatively.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.balancer import LoadBalancer
+from repro.errors import AnalysisError
+from repro.osmodel.pdflush import MillibottleneckRecord
+
+
+@dataclass(frozen=True)
+class Phases:
+    """The four time windows around one stall."""
+
+    normal_before: tuple[float, float]
+    millibottleneck: tuple[float, float]
+    recovery: tuple[float, float]
+    normal_after: tuple[float, float]
+
+    def as_dict(self) -> dict[str, tuple[float, float]]:
+        return {
+            "normal_before": self.normal_before,
+            "millibottleneck": self.millibottleneck,
+            "recovery": self.recovery,
+            "normal_after": self.normal_after,
+        }
+
+
+def segment(record: MillibottleneckRecord,
+            lead: float = 0.3,
+            recovery: float = 0.3,
+            tail: float = 0.3) -> Phases:
+    """Build the four phases around one ground-truth stall record."""
+    if min(lead, recovery, tail) <= 0:
+        raise AnalysisError("phase lengths must be positive")
+    start, end = record.started_at, record.ended_at
+    return Phases(
+        normal_before=(max(0.0, start - lead), start),
+        millibottleneck=(start, end),
+        recovery=(end, end + recovery),
+        normal_after=(end + recovery, end + recovery + tail),
+    )
+
+
+def funnel_fraction(balancer: LoadBalancer, stalled: str,
+                    window: tuple[float, float],
+                    use_picks: bool = True) -> float:
+    """Fraction of scheduling decisions aimed at the stalled member.
+
+    With ``use_picks`` (default) the numerator counts *picks*,
+    including workers that then blocked inside get_endpoint — the
+    honest measure of the funnel.  Returns 0.0 when the balancer made
+    no decisions in the window.
+    """
+    counts = (balancer.picks_between(*window) if use_picks
+              else balancer.distribution_between(*window))
+    total = sum(counts.values())
+    return counts.get(stalled, 0) / total if total else 0.0
+
+
+def distribution_by_phase(balancer: LoadBalancer, phases: Phases,
+                          use_picks: bool = False
+                          ) -> dict[str, dict[str, int]]:
+    """Per-phase per-backend decision counts (Figs. 6(c)/9(b)/13(b))."""
+    counter = (balancer.picks_between if use_picks
+               else balancer.distribution_between)
+    return {name: counter(*window)
+            for name, window in phases.as_dict().items()}
+
+
+def lock_on_fraction(balancer: LoadBalancer, stalled: str,
+                     window: tuple[float, float], tail: int = 10) -> float:
+    """Fraction of the *last* ``tail`` picks in ``window`` aimed at
+    ``stalled``.
+
+    The phase-2 funnel has a precise temporal shape: the rotation
+    continues while the stalled member's endpoints absorb requests,
+    then every subsequent pick targets the stalled member until no
+    free worker remains (after which there are no picks at all).  The
+    tail of the pick sequence inside the stall window is therefore the
+    sharp signature — it goes to 1.0 when the funnel locks on.
+    """
+    if balancer.pick_trace is None:
+        raise AnalysisError("pick tracing disabled on " + balancer.name)
+    picks = [name for _, name in balancer.pick_trace.between(*window)]
+    if not picks:
+        return 0.0
+    tail_picks = picks[-tail:]
+    return sum(1 for name in tail_picks if name == stalled) / len(tail_picks)
+
+
+def peak_growth(series, start: float, end: float,
+                step: float = 0.05) -> float:
+    """Largest increase of ``series`` over any ``step`` sub-window.
+
+    Quantifies Fig. 10(b)'s "red peak": during recovery the stalled
+    member's lb_value jumps abruptly as its accumulated requests flush
+    through, so its peak growth rate towers over the healthy members'
+    steady rotation increments.
+    """
+    if end <= start or step <= 0:
+        raise AnalysisError("need start < end and positive step")
+    best = 0.0
+    probe = start
+    while probe + step <= end + 1e-9:
+        delta = series.value_at(probe + step) - series.value_at(probe)
+        best = max(best, delta)
+        probe += step / 2
+    return best
+
+
+def evenness(counts: dict[str, int]) -> float:
+    """Max/mean ratio of a distribution; 1.0 is perfectly even.
+
+    Used to assert "the load balancer distributes the workload evenly
+    among the Tomcats" (§II-B) quantitatively.
+    """
+    values = list(counts.values())
+    if not values or sum(values) == 0:
+        raise AnalysisError("empty distribution")
+    mean = sum(values) / len(values)
+    return max(values) / mean

@@ -1,0 +1,114 @@
+"""Report builders: Table I, paper-vs-measured comparisons, summaries."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.analysis.asciiplot import table
+from repro.cluster.runner import ExperimentResult
+from repro.errors import AnalysisError
+
+#: The paper's Table I, for side-by-side comparison.  Values are
+#: (avg response time ms, %VLRT, %normal).
+PAPER_TABLE1: dict[str, tuple[float, float, float]] = {
+    "original_total_request": (41.00, 5.33, 88.85),
+    "original_total_traffic": (55.50, 6.89, 85.55),
+    "current_load": (3.62, 0.21, 96.70),
+    "total_request_modified": (4.87, 0.55, 95.82),
+    "total_traffic_modified": (5.87, 0.76, 93.93),
+    "current_load_modified": (3.60, 0.20, 96.67),
+}
+
+
+def table1(results: Sequence[ExperimentResult]) -> str:
+    """Render measured results in the paper's Table I format."""
+    if not results:
+        raise AnalysisError("no results to report")
+    headers = ["Policy", "# Total Requests", "Avg RT (ms)",
+               "% VLRT (>1000 ms)", "% Normal (<10 ms)"]
+    rows = []
+    for result in results:
+        row = result.table1_row()
+        rows.append([
+            row["policy"],
+            row["total_requests"],
+            "{:.2f}".format(row["avg_response_time_ms"]),
+            "{:.2f}%".format(row["vlrt_pct"]),
+            "{:.2f}%".format(row["normal_pct"]),
+        ])
+    return table(headers, rows)
+
+
+def table1_with_paper(results: Sequence[ExperimentResult]) -> str:
+    """Measured vs paper values, one row per bundle."""
+    headers = ["Policy", "Avg RT ms (ours)", "Avg RT ms (paper)",
+               "%VLRT (ours)", "%VLRT (paper)"]
+    rows = []
+    for result in results:
+        key = result.config.bundle_key
+        stats = result.stats()
+        paper = PAPER_TABLE1.get(key)
+        rows.append([
+            key,
+            "{:.2f}".format(stats.mean_ms),
+            "{:.2f}".format(paper[0]) if paper else "-",
+            "{:.2f}%".format(100 * stats.vlrt_fraction),
+            "{:.2f}%".format(paper[1]) if paper else "-",
+        ])
+    return table(headers, rows)
+
+
+def improvement_factors(results: Sequence[ExperimentResult],
+                        baseline_key: str = "original_total_request"
+                        ) -> dict[str, float]:
+    """Average-RT improvement of each run relative to the baseline run.
+
+    The paper's headline: current_load improves on total_request by
+    ~12x.  Factors > 1 mean faster than the baseline.
+    """
+    by_key = {result.config.bundle_key: result for result in results}
+    if baseline_key not in by_key:
+        raise AnalysisError("baseline {} not among results".format(
+            baseline_key))
+    baseline = by_key[baseline_key].stats().mean
+    return {
+        key: baseline / result.stats().mean
+        for key, result in by_key.items()
+    }
+
+
+def shape_check(results: Sequence[ExperimentResult]) -> dict[str, bool]:
+    """The qualitative claims of §VI, each as a boolean.
+
+    * remedies beat originals on average RT and on %VLRT;
+    * total_traffic is no better than total_request (it was worse in
+      the paper);
+    * combining both remedies adds no further improvement (within 2x
+      of the best single remedy).
+    """
+    by_key = {result.config.bundle_key: result.stats() for result in results}
+    required = {"original_total_request", "original_total_traffic",
+                "current_load", "total_request_modified",
+                "current_load_modified"}
+    missing = required - set(by_key)
+    if missing:
+        raise AnalysisError("missing runs: " + ", ".join(sorted(missing)))
+    originals = [by_key["original_total_request"],
+                 by_key["original_total_traffic"]]
+    remedies = [by_key["current_load"], by_key["total_request_modified"],
+                by_key["current_load_modified"]]
+    worst_remedy_rt = max(stats.mean for stats in remedies)
+    best_original_rt = min(stats.mean for stats in originals)
+    worst_remedy_vlrt = max(stats.vlrt_fraction for stats in remedies)
+    best_original_vlrt = min(stats.vlrt_fraction for stats in originals)
+    combined = by_key["current_load_modified"].mean
+    best_single = min(by_key["current_load"].mean,
+                      by_key["total_request_modified"].mean)
+    return {
+        "remedies_improve_avg_rt": worst_remedy_rt < best_original_rt,
+        "remedies_cut_vlrt": worst_remedy_vlrt < best_original_vlrt,
+        "traffic_not_better_than_request": (
+            by_key["original_total_traffic"].mean
+            >= 0.8 * by_key["original_total_request"].mean),
+        "combined_adds_nothing": combined <= 2.0 * best_single,
+    }

@@ -1,0 +1,107 @@
+"""Command-line interface: ``repro-lb``.
+
+Subcommands::
+
+    repro-lb list                         # available scenarios
+    repro-lb run table1/current_load      # run one scenario
+    repro-lb table1 [--duration 30]      # the full Table I comparison
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.analysis.report import table1, table1_with_paper
+from repro.cluster.runner import ExperimentRunner, compare_policies
+from repro.cluster.scenarios import Scenario
+from repro.core.remedies import TABLE1_BUNDLES
+
+
+def _cmd_list(_args: argparse.Namespace) -> int:
+    for key in Scenario.keys():
+        print(key)
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    config = Scenario.named(args.scenario)
+    if args.duration is not None:
+        from dataclasses import replace
+        config = replace(config, duration=args.duration)
+    if args.seed is not None:
+        from dataclasses import replace
+        config = replace(config, seed=args.seed)
+    result = ExperimentRunner(config).run()
+    print(result.summary())
+    return 0
+
+
+def _cmd_table1(args: argparse.Namespace) -> int:
+    results = compare_policies(
+        [bundle.key for bundle in TABLE1_BUNDLES],
+        duration=args.duration, seed=args.seed)
+    print(table1(results))
+    print()
+    print(table1_with_paper(results))
+    return 0
+
+
+def _cmd_export(args: argparse.Namespace) -> int:
+    from dataclasses import replace
+
+    from repro.analysis.export import export_result
+
+    config = Scenario.named(args.scenario)
+    if args.duration is not None:
+        config = replace(config, duration=args.duration)
+    if args.seed is not None:
+        config = replace(config, seed=args.seed)
+    if "fig2" not in args.scenario:
+        config = replace(config, sample_dirty_pages=True)
+    result = ExperimentRunner(config).run()
+    out = export_result(result, args.out)
+    print(result.summary())
+    print("exported CSV/JSON to {}".format(out))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-lb",
+        description="Reproduce the ICDCS 2017 millibottleneck "
+                    "load-balancing study.")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list scenario keys").set_defaults(
+        func=_cmd_list)
+
+    run = sub.add_parser("run", help="run one scenario")
+    run.add_argument("scenario", help="scenario key (see 'list')")
+    run.add_argument("--duration", type=float, default=None)
+    run.add_argument("--seed", type=int, default=None)
+    run.set_defaults(func=_cmd_run)
+
+    t1 = sub.add_parser("table1", help="run the Table I comparison")
+    t1.add_argument("--duration", type=float, default=20.0)
+    t1.add_argument("--seed", type=int, default=42)
+    t1.set_defaults(func=_cmd_table1)
+
+    export = sub.add_parser(
+        "export", help="run a scenario and dump its series as CSV/JSON")
+    export.add_argument("scenario", help="scenario key (see 'list')")
+    export.add_argument("--out", required=True,
+                        help="output directory for the CSV/JSON files")
+    export.add_argument("--duration", type=float, default=None)
+    export.add_argument("--seed", type=int, default=None)
+    export.set_defaults(func=_cmd_export)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,49 @@
+"""Topology, configuration, and experiment execution."""
+
+from repro.cluster.config import (
+    HardwareConfig,
+    PaperTierConfig,
+    ScaleProfile,
+    SoftwareStack,
+)
+from repro.cluster.faults import CrashRecord, FaultInjector
+from repro.cluster.runner import (
+    ExperimentConfig,
+    ExperimentResult,
+    ExperimentRunner,
+    compare_policies,
+)
+from repro.cluster.scenarios import (
+    FIGURE_DURATION,
+    TABLE_DURATION,
+    Scenario,
+    baseline_no_millibottleneck,
+    policy_run,
+    single_node_millibottleneck,
+    table1_run,
+)
+from repro.cluster.sweeps import Sweep
+from repro.cluster.topology import NTierSystem, build_system
+
+__all__ = [
+    "ScaleProfile",
+    "SoftwareStack",
+    "HardwareConfig",
+    "PaperTierConfig",
+    "NTierSystem",
+    "FaultInjector",
+    "CrashRecord",
+    "build_system",
+    "ExperimentConfig",
+    "ExperimentResult",
+    "ExperimentRunner",
+    "compare_policies",
+    "Sweep",
+    "Scenario",
+    "baseline_no_millibottleneck",
+    "single_node_millibottleneck",
+    "policy_run",
+    "table1_run",
+    "FIGURE_DURATION",
+    "TABLE_DURATION",
+]

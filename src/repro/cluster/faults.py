@@ -1,0 +1,64 @@
+"""Fault injection: crashes and recoveries on a schedule.
+
+The paper's 3-state machine exists because backends really do fail
+permanently, not just transiently — and its §IV-C remedy is
+deliberately conservative because "it is hard to distinguish
+millibottleneck from permanent failure".  This module injects
+fail-stop crashes so that distinction can be exercised: a crash must
+escalate to Error and stay excluded, while a millibottleneck must not.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Optional
+
+from repro.errors import ConfigurationError
+from repro.tiers.base import TierServer
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.core import Environment
+
+
+@dataclass(frozen=True)
+class CrashRecord:
+    """Ground truth about one injected crash."""
+
+    server: str
+    crashed_at: float
+    recovered_at: Optional[float]
+
+
+class FaultInjector:
+    """Schedules crashes (and optional recoveries) on tier servers."""
+
+    def __init__(self, env: "Environment") -> None:
+        self.env = env
+        self.records: list[CrashRecord] = []
+
+    def crash_at(self, server: TierServer, at: float,
+                 duration: Optional[float] = None) -> None:
+        """Crash ``server`` at time ``at``.
+
+        With ``duration`` the server recovers that many seconds later;
+        without it the crash is permanent for the rest of the run.
+        """
+        if at < self.env.now:
+            raise ConfigurationError("cannot schedule a crash in the past")
+        if duration is not None and duration <= 0:
+            raise ConfigurationError("duration must be positive")
+        self.env.process(self._run(server, at, duration))
+
+    def _run(self, server: TierServer, at: float,
+             duration: Optional[float]):
+        if at > self.env.now:
+            yield self.env.timeout(at - self.env.now)
+        server.crash()
+        crashed_at = self.env.now
+        if duration is None:
+            self.records.append(CrashRecord(server.name, crashed_at, None))
+            return
+        yield self.env.timeout(duration)
+        server.recover()
+        self.records.append(CrashRecord(server.name, crashed_at,
+                                        self.env.now))

@@ -1,0 +1,245 @@
+"""Experiment execution: build, run, measure, summarise.
+
+:class:`ExperimentRunner` owns the environment, the seeded random
+generator (the single source of randomness — identical seeds give
+identical event traces), the 50 ms queue-length samplers, and the
+client population.  It returns an :class:`ExperimentResult`, which
+carries both summary statistics and everything the figure-level
+analyses need (queue timelines, CPU trackers, dispatch and lb_value
+traces, ground-truth millibottleneck records).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+from repro.cluster.config import ScaleProfile
+from repro.cluster.topology import NTierSystem, build_system
+from repro.core.balancer import BalancerConfig
+from repro.core.remedies import RemedyBundle, get_bundle
+from repro.core.states import StateConfig
+from repro.errors import ConfigurationError
+from repro.metrics.recorder import ResponseTimeRecorder
+from repro.metrics.stats import ResponseTimeStats
+from repro.metrics.timeseries import TimeSeries
+from repro.metrics.windows import PAPER_WINDOW
+from repro.netmodel.tcp import RetransmissionPolicy
+from repro.sim.core import Environment
+from repro.sim.monitor import Sampler
+from repro.workload.generator import ClientPopulation
+from repro.workload.mix import WorkloadMix, read_write_mix
+
+
+@dataclass(frozen=True)
+class ExperimentConfig:
+    """Everything that defines one run.
+
+    ``bundle_key`` picks a Table-I policy/mechanism combination; the
+    no-balancer configuration (§III-B) is selected with
+    ``use_balancer=False`` and a single-node profile.
+    """
+
+    bundle_key: str = "original_total_request"
+    profile: ScaleProfile = field(default_factory=ScaleProfile)
+    duration: float = 30.0
+    seed: int = 42
+    tomcat_millibottlenecks: bool = True
+    apache_millibottlenecks: bool = False
+    use_balancer: bool = True
+    sample_window: float = PAPER_WINDOW
+    trace_lb_values: bool = True
+    trace_dispatches: bool = True
+    sample_dirty_pages: bool = False
+
+    def __post_init__(self) -> None:
+        if self.duration <= 0:
+            raise ConfigurationError("duration must be positive")
+        if self.sample_window <= 0:
+            raise ConfigurationError("sample_window must be positive")
+
+    def bundle(self) -> RemedyBundle:
+        return get_bundle(self.bundle_key)
+
+
+@dataclass
+class ExperimentResult:
+    """Outcome of one run, with the paper's analysis entry points."""
+
+    config: ExperimentConfig
+    system: NTierSystem
+    population: ClientPopulation
+    duration: float
+    #: Queue-length (in_server) timeline per server name, 50 ms samples.
+    queue_series: dict[str, TimeSeries]
+    #: Dirty-page timeline per host name (if sampled).
+    dirty_series: dict[str, TimeSeries]
+
+    # -- response times --------------------------------------------------
+    @property
+    def recorder(self) -> ResponseTimeRecorder:
+        return self.population.recorder
+
+    def stats(self) -> ResponseTimeStats:
+        """Table-I style summary statistics."""
+        return self.recorder.stats()
+
+    def table1_row(self) -> dict[str, float]:
+        """One row of Table I for this run."""
+        row = {"policy": self.config.bundle().description}
+        row.update(self.stats().row())
+        return row
+
+    # -- fine-grained views -------------------------------------------------
+    def cpu_utilization(self, server_name: str,
+                        window: Optional[float] = None) -> TimeSeries:
+        """Exact fine-grained CPU utilisation of one server's host."""
+        server = self.system.server_named(server_name)
+        return server.host.cpu.utilization_series(
+            window or self.config.sample_window, self.duration)
+
+    def iowait(self, server_name: str,
+               window: Optional[float] = None) -> TimeSeries:
+        """Exact fine-grained iowait of one server's host (Fig. 2(d))."""
+        server = self.system.server_named(server_name)
+        return server.host.cpu.iowait_series(
+            window or self.config.sample_window, self.duration)
+
+    def vlrt_windows(self) -> TimeSeries:
+        """VLRT count per 50 ms window (Figs. 2(a)/6(a)/7(a))."""
+        return self.recorder.vlrt_windows(self.config.sample_window,
+                                          until=self.duration)
+
+    def point_in_time_rt(self) -> TimeSeries:
+        """Point-in-time response time (Figs. 1/3)."""
+        return self.recorder.point_in_time(self.config.sample_window)
+
+    def average_cpu(self) -> dict[str, float]:
+        """Whole-run average CPU per server (Fig. 5)."""
+        return {
+            server.name: server.host.cpu.utilization(0.0, self.duration)
+            for server in self.system.servers
+        }
+
+    def dropped_packets(self) -> int:
+        """Client packets lost to web-tier accept-queue overflow."""
+        return sum(apache.socket.dropped for apache in self.system.apaches)
+
+    def summary(self) -> str:
+        """A one-paragraph human-readable summary."""
+        stats = self.stats()
+        return (
+            "{}: {} requests, avg RT {:.2f} ms, VLRT {:.2f}%, "
+            "normal {:.2f}%, drops {}, millibottlenecks {}".format(
+                self.config.bundle_key,
+                stats.count,
+                stats.mean_ms,
+                100 * stats.vlrt_fraction,
+                100 * stats.normal_fraction,
+                self.dropped_packets(),
+                len(self.system.millibottleneck_records()),
+            )
+        )
+
+
+class ExperimentRunner:
+    """Builds and runs one experiment."""
+
+    def __init__(self, config: ExperimentConfig,
+                 mix: Optional[WorkloadMix] = None) -> None:
+        self.config = config
+        self.mix = mix or read_write_mix()
+
+    def run(self) -> ExperimentResult:
+        """Execute the run and return its result."""
+        config = self.config
+        env = Environment()
+        rng = np.random.default_rng(config.seed)
+        profile = config.profile
+
+        balancer_config = BalancerConfig(
+            pool_size=profile.connection_pool_size,
+            trace_lb_values=config.trace_lb_values,
+            trace_dispatches=config.trace_dispatches,
+        )
+        system = build_system(
+            env, profile,
+            bundle=config.bundle() if config.use_balancer else None,
+            rng=rng,
+            tomcat_millibottlenecks=config.tomcat_millibottlenecks,
+            apache_millibottlenecks=config.apache_millibottlenecks,
+            balancer_config=balancer_config,
+            use_balancer=config.use_balancer,
+        )
+
+        population = ClientPopulation(
+            env,
+            sockets=[apache.socket for apache in system.apaches],
+            total_clients=profile.clients,
+            mix=self.mix,
+            rng=rng,
+            think_time=profile.think_time,
+            retransmission=RetransmissionPolicy(),
+            ramp_up=profile.ramp_up,
+        )
+
+        queue_samplers = {
+            server.name: Sampler(env, _probe(server),
+                                 period=config.sample_window,
+                                 name=server.name)
+            for server in system.servers
+        }
+        dirty_samplers = {}
+        if config.sample_dirty_pages:
+            dirty_samplers = {
+                host.name: Sampler(env, _dirty_probe(host),
+                                   period=config.sample_window,
+                                   name=host.name)
+                for host in system.hosts
+            }
+
+        env.run(until=config.duration)
+
+        return ExperimentResult(
+            config=config,
+            system=system,
+            population=population,
+            duration=config.duration,
+            queue_series={
+                name: TimeSeries.from_arrays(*sampler.series(), name=name)
+                for name, sampler in queue_samplers.items()
+            },
+            dirty_series={
+                name: TimeSeries.from_arrays(*sampler.series(), name=name)
+                for name, sampler in dirty_samplers.items()
+            },
+        )
+
+
+def _probe(server):
+    return lambda: server.in_server
+
+
+def _dirty_probe(host):
+    return lambda: host.pagecache.dirty_bytes
+
+
+def compare_policies(bundle_keys, profile: Optional[ScaleProfile] = None,
+                     duration: float = 30.0, seed: int = 42,
+                     mix: Optional[WorkloadMix] = None,
+                     trace: bool = False) -> list[ExperimentResult]:
+    """Run several Table-I bundles under identical conditions.
+
+    Each run uses the same seed, profile, duration, and workload mix,
+    so differences are attributable to the policy/mechanism alone.
+    """
+    profile = profile or ScaleProfile()
+    results = []
+    for key in bundle_keys:
+        config = ExperimentConfig(
+            bundle_key=key, profile=profile, duration=duration, seed=seed,
+            trace_lb_values=trace, trace_dispatches=trace)
+        results.append(ExperimentRunner(config, mix=mix).run())
+    return results

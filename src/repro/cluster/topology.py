@@ -1,0 +1,161 @@
+"""N-tier topology builder (the paper's Fig. 14).
+
+Builds the full system for one experiment: MySQL at the bottom, the
+Tomcat tier with (optionally) millibottleneck-producing hosts, the
+Apache tier, and one load balancer per Apache (or a direct dispatcher
+for the no-balancer configuration).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Callable, Optional
+
+import numpy as np
+
+from repro.cluster.config import ScaleProfile
+from repro.core.balancer import BalancerConfig, DirectDispatcher, LoadBalancer
+from repro.core.mechanism import GetEndpointMechanism
+from repro.core.policies import Policy
+from repro.core.remedies import RemedyBundle
+from repro.core.states import StateConfig
+from repro.errors import ConfigurationError
+from repro.osmodel.host import Host
+from repro.osmodel.profiles import MillibottleneckProfile
+from repro.tiers.apache import ApacheServer
+from repro.tiers.mysql import MySqlServer
+from repro.tiers.tomcat import TomcatServer
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.core import Environment
+
+
+@dataclass
+class NTierSystem:
+    """All the servers of one experiment, fully wired."""
+
+    env: "Environment"
+    profile: ScaleProfile
+    apaches: list[ApacheServer]
+    tomcats: list[TomcatServer]
+    mysql: MySqlServer
+    balancers: list[LoadBalancer] = field(default_factory=list)
+    direct_dispatchers: list[DirectDispatcher] = field(default_factory=list)
+
+    @property
+    def hosts(self) -> list[Host]:
+        """Every host of the deployment."""
+        return ([server.host for server in self.apaches]
+                + [server.host for server in self.tomcats]
+                + [self.mysql.host])
+
+    @property
+    def servers(self):
+        """Every tier server (web, app, db), in tier order."""
+        return list(self.apaches) + list(self.tomcats) + [self.mysql]
+
+    def server_named(self, name: str):
+        for server in self.servers:
+            if server.name == name:
+                return server
+        raise ConfigurationError("no server named " + name)
+
+    def millibottleneck_records(self):
+        """Ground-truth stall records across all hosts, time-ordered."""
+        records = [record for host in self.hosts
+                   for record in host.millibottlenecks]
+        return sorted(records, key=lambda record: record.started_at)
+
+    def total_dispatches(self) -> int:
+        return (sum(balancer.dispatches for balancer in self.balancers)
+                + sum(d.dispatches for d in self.direct_dispatchers))
+
+
+def build_system(
+    env: "Environment",
+    profile: ScaleProfile,
+    bundle: Optional[RemedyBundle] = None,
+    rng: Optional[np.random.Generator] = None,
+    tomcat_millibottlenecks: bool = True,
+    apache_millibottlenecks: bool = False,
+    policy_factory: Optional[Callable[[], Policy]] = None,
+    mechanism_factory: Optional[Callable[[], GetEndpointMechanism]] = None,
+    balancer_config: Optional[BalancerConfig] = None,
+    state_config: Optional[StateConfig] = None,
+    use_balancer: bool = True,
+) -> NTierSystem:
+    """Build and wire an n-tier system.
+
+    Either ``bundle`` or both factories must be given when
+    ``use_balancer``; the no-balancer (§III-B) configuration requires a
+    single Apache and a single Tomcat.
+    """
+    rng = rng or np.random.default_rng(0)
+
+    # -- database tier ---------------------------------------------------
+    mysql_host = Host(env, "mysql1", cores=profile.mysql_cores)
+    mysql = MySqlServer(env, "mysql1", mysql_host,
+                        max_connections=profile.mysql_connections)
+
+    # -- application tier -----------------------------------------------
+    tomcats = []
+    for index in range(profile.tomcat_count):
+        flush = (profile.tomcat_flush_profile(index)
+                 if tomcat_millibottlenecks
+                 else MillibottleneckProfile.disabled())
+        host = Host(env, "tomcat{}".format(index + 1),
+                    cores=profile.tomcat_cores,
+                    disk_bandwidth=profile.tomcat_disk_bandwidth,
+                    flush_profile=flush)
+        tomcats.append(TomcatServer(
+            env, host.name, host, mysql,
+            max_threads=profile.tomcat_max_threads))
+
+    # -- web tier ------------------------------------------------------
+    apaches = []
+    for index in range(profile.apache_count):
+        flush = (profile.apache_flush_profile(index)
+                 if apache_millibottlenecks
+                 else MillibottleneckProfile.disabled())
+        host = Host(env, "apache{}".format(index + 1),
+                    cores=profile.apache_cores,
+                    disk_bandwidth=profile.apache_disk_bandwidth,
+                    flush_profile=flush)
+        apaches.append(ApacheServer(
+            env, host.name, host,
+            max_clients=profile.apache_max_clients,
+            backlog=profile.apache_backlog))
+
+    system = NTierSystem(env=env, profile=profile, apaches=apaches,
+                         tomcats=tomcats, mysql=mysql)
+
+    # -- dispatchers -----------------------------------------------------
+    if use_balancer:
+        if bundle is not None:
+            policy_factory = bundle.make_policy
+            mechanism_factory = bundle.make_mechanism
+        if policy_factory is None or mechanism_factory is None:
+            raise ConfigurationError(
+                "provide a RemedyBundle or policy/mechanism factories")
+        config = balancer_config or BalancerConfig(
+            pool_size=profile.connection_pool_size)
+        for apache in apaches:
+            balancer = LoadBalancer(
+                env, apache.name + ".lb", tomcats,
+                policy=policy_factory(),
+                mechanism=mechanism_factory(),
+                rng=rng,
+                config=config,
+                state_config=state_config,
+            )
+            apache.attach_dispatcher(balancer)
+            system.balancers.append(balancer)
+    else:
+        if profile.apache_count != 1 or profile.tomcat_count != 1:
+            raise ConfigurationError(
+                "the no-balancer configuration is 1 Apache / 1 Tomcat")
+        dispatcher = DirectDispatcher(env, tomcats[0])
+        apaches[0].attach_dispatcher(dispatcher)
+        system.direct_dispatchers.append(dispatcher)
+
+    return system

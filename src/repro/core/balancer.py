@@ -1,0 +1,240 @@
+"""The two-level mod_jk load balancer (§II-A).
+
+Upper level: the *policy* ranks backends by lb_value.  Lower level: the
+*mechanism* (``get_endpoint``) obtains a connection to the chosen
+candidate.  One :class:`LoadBalancer` instance runs inside each Apache;
+the 3-state member lifecycle, per-backend connection pools, dispatch
+traces and lb_value traces all live here.
+
+:class:`DirectDispatcher` is the degenerate no-balancer configuration
+used by the paper's §III-B single-node experiments.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Optional, Sequence
+
+import numpy as np
+
+from repro.core.member import DEFAULT_POOL_SIZE, BalancerMember
+from repro.core.mechanism import GetEndpointMechanism
+from repro.core.policies import Policy
+from repro.core.states import MemberState, StateConfig
+from repro.errors import ConfigurationError, NoCandidateError
+from repro.metrics.windows import PAPER_WINDOW, WindowedCounter
+from repro.netmodel.sockets import Link
+from repro.sim.events import Event
+from repro.sim.monitor import TraceLog
+from repro.workload.request import Request
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.core import Environment
+    from repro.tiers.tomcat import TomcatServer
+
+
+@dataclass(frozen=True)
+class BalancerConfig:
+    """Per-balancer wiring knobs.
+
+    ``retry_pause`` is the small delay inserted after a failed endpoint
+    acquisition before re-ranking candidates; it models the worker
+    thread bouncing back through the scheduler (and keeps an
+    immediate-failure mechanism from spinning in zero simulated time).
+    """
+
+    pool_size: int = DEFAULT_POOL_SIZE
+    link_latency: float = 0.0002
+    retry_pause: float = 0.002
+    trace_lb_values: bool = True
+    trace_dispatches: bool = True
+    #: Whether AJP connections start established (warm keep-alive pool).
+    preconnect: bool = True
+
+    def __post_init__(self) -> None:
+        if self.pool_size < 1:
+            raise ConfigurationError("pool_size must be >= 1")
+        if self.link_latency < 0:
+            raise ConfigurationError("link_latency must be >= 0")
+        if self.retry_pause <= 0:
+            raise ConfigurationError("retry_pause must be positive")
+
+
+class LoadBalancer:
+    """One Apache's view of the application tier."""
+
+    def __init__(self, env: "Environment", name: str,
+                 backends: Sequence["TomcatServer"],
+                 policy: Policy,
+                 mechanism: GetEndpointMechanism,
+                 rng: np.random.Generator,
+                 config: BalancerConfig | None = None,
+                 state_config: StateConfig | None = None) -> None:
+        if not backends:
+            raise ConfigurationError("balancer needs at least one backend")
+        self.env = env
+        self.name = name
+        self.policy = policy
+        self.mechanism = mechanism
+        self.config = config or BalancerConfig()
+        self._rng = rng
+        self.members = [
+            BalancerMember(
+                env, server, index,
+                pool_size=self.config.pool_size,
+                state_config=state_config,
+                link=Link(env, self.config.link_latency,
+                          name="{}->{}".format(name, server.name)),
+                trace_lb_values=self.config.trace_lb_values,
+                preconnect=self.config.preconnect,
+            )
+            for index, server in enumerate(backends)
+        ]
+        #: (time, backend-name) per successful dispatch (Figs. 6c/9b/13b).
+        self.dispatch_trace: Optional[TraceLog] = (
+            TraceLog(env, name + ".dispatch")
+            if self.config.trace_dispatches else None)
+        #: (time, backend-name) per *pick* — including picks whose
+        #: worker then blocks inside get_endpoint.  During phase 2 the
+        #: pick trace shows the full funnel onto the stalled member.
+        self.pick_trace: Optional[TraceLog] = (
+            TraceLog(env, name + ".pick")
+            if self.config.trace_dispatches else None)
+        self.dispatches = 0
+        self.endpoint_failures = 0
+
+    # -- candidate selection --------------------------------------------------
+    def _pick(self) -> Optional[BalancerMember]:
+        """Choose a candidate, honouring the 3-state machine.
+
+        Available (and recheck-eligible Busy / recovery-eligible Error)
+        members compete via the policy; if none qualifies, any
+        non-Error member may be retried; if all members are Error,
+        ``None`` signals NoCandidate.
+        """
+        now = self.env.now
+        eligible = [m for m in self.members if m.eligible(now)]
+        if not eligible:
+            eligible = [m for m in self.members
+                        if m.state is not MemberState.ERROR]
+            if not eligible:
+                return None
+        return self.policy.select(eligible, self._rng)
+
+    # -- dispatch ---------------------------------------------------------
+    def dispatch(self, request: Request):
+        """Process generator: forward ``request``, return when answered.
+
+        Raises :class:`NoCandidateError` when every backend is Error.
+        """
+        while True:
+            member = self._pick()
+            if member is None:
+                raise NoCandidateError(
+                    "{}: all backends in Error state".format(self.name))
+            self.policy.on_pick(member, request)
+            if self.pick_trace is not None:
+                self.pick_trace.log(member.name)
+            endpoint = yield from self.mechanism.get_endpoint(member)
+            if endpoint is None:
+                # §IV-A: failing to return an endpoint moves the member
+                # toward Busy (and eventually Error).
+                self.policy.on_pick_abandoned(member, request)
+                member.mark_busy()
+                self.endpoint_failures += 1
+                yield self.env.timeout(self.config.retry_pause)
+                continue
+            yield from self._send(member, endpoint, request)
+            return request
+
+    def _send(self, member: BalancerMember, endpoint, request: Request):
+        # A successful acquisition is proof of life.
+        member.mark_available()
+        member.dispatched += 1
+        member.inflight += 1
+        self.dispatches += 1
+        request.served_by = member.name
+        request.dispatched_at = self.env.now
+        if self.dispatch_trace is not None:
+            self.dispatch_trace.log(member.name)
+        self.policy.on_dispatch(member, request)
+        try:
+            yield from member.send(request)
+        finally:
+            member.inflight -= 1
+            endpoint.release()
+        member.completed += 1
+        self.policy.on_complete(member, request)
+
+    # -- analysis helpers ---------------------------------------------------
+    def distribution_between(self, start: float,
+                             end: float) -> dict[str, int]:
+        """Dispatches per backend in ``[start, end)`` (Fig. 6(c) et al.)."""
+        return self._counts(self.dispatch_trace, start, end)
+
+    def picks_between(self, start: float, end: float) -> dict[str, int]:
+        """Picks per backend in ``[start, end)`` (the phase-2 funnel)."""
+        return self._counts(self.pick_trace, start, end)
+
+    def _counts(self, trace: Optional[TraceLog], start: float,
+                end: float) -> dict[str, int]:
+        if trace is None:
+            raise ConfigurationError(
+                "dispatch tracing disabled on " + self.name)
+        counts: dict[str, int] = {m.name: 0 for m in self.members}
+        for _, backend in trace.between(start, end):
+            counts[backend] += 1
+        return counts
+
+    def distribution_windows(self, window: float = PAPER_WINDOW,
+                             until: Optional[float] = None
+                             ) -> dict[str, "object"]:
+        """Per-backend dispatch counts in fixed windows, as TimeSeries."""
+        if self.dispatch_trace is None:
+            raise ConfigurationError(
+                "dispatch tracing disabled on " + self.name)
+        counters = {m.name: WindowedCounter(window, m.name)
+                    for m in self.members}
+        for time, backend in self.dispatch_trace:
+            counters[backend].record(time)
+        return {name: counter.series(until=until)
+                for name, counter in counters.items()}
+
+    def member_named(self, name: str) -> BalancerMember:
+        for member in self.members:
+            if member.name == name:
+                return member
+        raise ConfigurationError("no member named " + name)
+
+    def __repr__(self) -> str:
+        return "<LoadBalancer {} policy={} mechanism={}>".format(
+            self.name, self.policy.name, self.mechanism.name)
+
+
+class DirectDispatcher:
+    """No load balancer: requests go straight to a single backend.
+
+    Models the paper's §III-B configuration (1 Apache / 1 Tomcat /
+    1 MySQL), used to show that millibottlenecks cause VLRT requests
+    even before any scheduling pathology.
+    """
+
+    def __init__(self, env: "Environment", backend: "TomcatServer",
+                 link_latency: float = 0.0002) -> None:
+        self.env = env
+        self.backend = backend
+        self.link = Link(env, link_latency,
+                         name="direct->" + backend.name)
+        self.dispatches = 0
+
+    def dispatch(self, request: Request):
+        """Process generator: forward ``request`` to the single backend."""
+        self.dispatches += 1
+        request.served_by = self.backend.name
+        request.dispatched_at = self.env.now
+        reply: Event = Event(self.env)
+        yield self.link.delay()
+        self.backend.submit(request, reply)
+        yield reply
+        yield self.link.delay()
+        return request

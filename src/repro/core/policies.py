@@ -1,0 +1,251 @@
+"""Load balancing policies — the upper level of mod_jk's scheduler.
+
+The paper studies two stock policies and proposes one remedy:
+
+* :class:`TotalRequestPolicy` (Algorithm 2) — rank by accumulated
+  request count.  **Unstable** under millibottlenecks (§V-A).
+* :class:`TotalTrafficPolicy` (Algorithm 3) — rank by accumulated
+  message bytes.  Same instability.
+* :class:`CurrentLoadPolicy` (Algorithm 4) — rank by requests
+  currently in flight; the paper's policy-level remedy (§V-B).  This
+  is mod_jk's "busyness" method.
+
+Additional policies (round robin, random, power-of-two-choices, EWMA
+latency) are provided for the ablation benchmarks: they let users
+check which *family* of policies — cumulative vs. instantaneous —
+inherits the instability.
+
+A policy never picks members itself beyond ranking: eligibility (the
+3-state machine) is the balancer's job; the policy's
+:meth:`Policy.select` only orders the eligible candidates.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.core.member import BalancerMember
+from repro.errors import ConfigurationError
+from repro.workload.request import Request
+
+#: mod_jk's lb_value quantum.
+LB_MULT = 1.0
+
+
+class Policy:
+    """Base class for ranking policies."""
+
+    #: Registry name (used by scenario/remedy lookups).
+    name = "abstract"
+    #: Whether the policy ranks by *cumulative* history (the property
+    #: the paper blames for the instability).
+    cumulative = False
+
+    def select(self, eligible: Sequence[BalancerMember],
+               rng: np.random.Generator) -> BalancerMember:
+        """Pick the best candidate: lowest lb_value, ties by index."""
+        return min(eligible, key=lambda member: (member.lb_value,
+                                                 member.index))
+
+    def on_pick(self, member: BalancerMember, request: Request) -> None:
+        """Hook: the member was selected (before endpoint acquisition).
+
+        mod_jk updates *busyness* here — before ``get_endpoint`` — so a
+        request stuck polling a stalled candidate still counts against
+        that candidate.  That ordering is what makes ``current_load``
+        robust to the mechanism limitation (§V-B).
+        """
+
+    def on_pick_abandoned(self, member: BalancerMember,
+                          request: Request) -> None:
+        """Hook: endpoint acquisition failed; the pick is withdrawn."""
+
+    def on_dispatch(self, member: BalancerMember, request: Request) -> None:
+        """Hook: the request was handed an endpoint and sent."""
+
+    def on_complete(self, member: BalancerMember, request: Request) -> None:
+        """Hook: the response for the request came back."""
+
+    def __repr__(self) -> str:
+        return "<Policy {}>".format(self.name)
+
+
+class TotalRequestPolicy(Policy):
+    """Algorithm 2: accumulate one lb_mult per dispatched request.
+
+    The lb_value increments only *after* ``get_endpoint`` succeeds, so
+    a stalled member's value freezes at the lowest rank — and the
+    balancer funnels every new request into it (Fig. 10).
+    """
+
+    name = "total_request"
+    cumulative = True
+
+    def on_dispatch(self, member: BalancerMember, request: Request) -> None:
+        member.lb_value = member.lb_value + LB_MULT
+
+
+class TotalTrafficPolicy(Policy):
+    """Algorithm 3: accumulate request+response bytes at completion.
+
+    Byte counts are only known when the response returns, hence the
+    update sits after "Receive the response" in the paper's pseudo
+    code.  A stalled member completes nothing, freezes at the lowest
+    rank, and attracts all traffic (Fig. 11).
+    """
+
+    name = "total_traffic"
+    cumulative = True
+
+    def on_complete(self, member: BalancerMember, request: Request) -> None:
+        member.lb_value = member.lb_value + request.traffic_bytes * LB_MULT
+
+
+class CurrentLoadPolicy(Policy):
+    """Algorithm 4: rank by requests currently assigned to the member.
+
+    +1 when the member is *picked*, -1 at completion (clamped at zero
+    exactly as the paper's pseudo code does).  Counting from pick time
+    — mod_jk increments busyness before calling ``get_endpoint`` — is
+    what the paper means by "even though Apache could be stuck in
+    calling get_endpoint ... the lb_value of the candidate with the
+    millibottleneck remains the highest": workers stuck polling a
+    stalled member still weigh it down, so new requests go elsewhere.
+    A stalled member keeps its in-flight requests, so its rank rises
+    and healthy members win — the policy-level remedy.
+    """
+
+    name = "current_load"
+    cumulative = False
+
+    def on_pick(self, member: BalancerMember, request: Request) -> None:
+        member.lb_value = member.lb_value + LB_MULT
+
+    def on_pick_abandoned(self, member: BalancerMember,
+                          request: Request) -> None:
+        self._decrement(member)
+
+    def on_complete(self, member: BalancerMember, request: Request) -> None:
+        self._decrement(member)
+
+    @staticmethod
+    def _decrement(member: BalancerMember) -> None:
+        if member.lb_value >= LB_MULT:
+            member.lb_value = member.lb_value - LB_MULT
+        else:
+            member.lb_value = 0.0
+
+
+class RoundRobinPolicy(Policy):
+    """Cycle through eligible members regardless of load."""
+
+    name = "round_robin"
+    cumulative = False
+
+    def __init__(self) -> None:
+        self._next = 0
+
+    def select(self, eligible: Sequence[BalancerMember],
+               rng: np.random.Generator) -> BalancerMember:
+        # Advance a global cursor over member indexes; pick the first
+        # eligible member at or after the cursor.
+        ordered = sorted(eligible, key=lambda member: member.index)
+        for member in ordered:
+            if member.index >= self._next:
+                self._next = member.index + 1
+                return member
+        self._next = ordered[0].index + 1
+        return ordered[0]
+
+
+class RandomPolicy(Policy):
+    """Uniformly random choice among eligible members."""
+
+    name = "random"
+    cumulative = False
+
+    def select(self, eligible: Sequence[BalancerMember],
+               rng: np.random.Generator) -> BalancerMember:
+        return eligible[int(rng.integers(len(eligible)))]
+
+
+class TwoChoicesPolicy(Policy):
+    """Power of two choices: sample two, take the one with fewer in flight.
+
+    A classic randomized policy that, like current_load, reacts to
+    instantaneous state — included to show the remedy generalises
+    beyond mod_jk's specific busyness counter.
+    """
+
+    name = "two_choices"
+    cumulative = False
+
+    def select(self, eligible: Sequence[BalancerMember],
+               rng: np.random.Generator) -> BalancerMember:
+        if len(eligible) == 1:
+            return eligible[0]
+        first, second = rng.choice(len(eligible), size=2, replace=False)
+        a, b = eligible[int(first)], eligible[int(second)]
+        return a if (a.inflight, a.index) <= (b.inflight, b.index) else b
+
+
+class EwmaLatencyPolicy(Policy):
+    """Rank by an exponentially weighted moving average of response time.
+
+    A "recent utilisation changes" policy in the spirit of the paper's
+    §I remedy sketch: history decays, so a millibottleneck's imprint
+    fades within a few completions instead of persisting forever.
+    """
+
+    name = "ewma_latency"
+    cumulative = False
+
+    def __init__(self, alpha: float = 0.3) -> None:
+        if not 0 < alpha <= 1:
+            raise ConfigurationError("alpha must be in (0, 1]")
+        self.alpha = alpha
+
+    def select(self, eligible: Sequence[BalancerMember],
+               rng: np.random.Generator) -> BalancerMember:
+        def key(member: BalancerMember):
+            ewma = (member.ewma_response_time
+                    if member.ewma_response_time is not None else 0.0)
+            # Penalise members with many requests in flight so the
+            # policy does not herd onto one historically fast member.
+            return (ewma * (1 + member.inflight), member.index)
+        return min(eligible, key=key)
+
+    def on_complete(self, member: BalancerMember, request: Request) -> None:
+        if request.dispatched_at is None:
+            return
+        observed = member.env.now - request.dispatched_at
+        if member.ewma_response_time is None:
+            member.ewma_response_time = observed
+        else:
+            member.ewma_response_time = (
+                self.alpha * observed
+                + (1 - self.alpha) * member.ewma_response_time)
+
+
+#: Policy registry for scenario lookups.
+POLICIES: dict[str, type] = {
+    cls.name: cls for cls in [
+        TotalRequestPolicy,
+        TotalTrafficPolicy,
+        CurrentLoadPolicy,
+        RoundRobinPolicy,
+        RandomPolicy,
+        TwoChoicesPolicy,
+        EwmaLatencyPolicy,
+    ]
+}
+
+
+def make_policy(name: str) -> Policy:
+    """Instantiate a policy by registry name."""
+    try:
+        return POLICIES[name]()
+    except KeyError:
+        raise ConfigurationError("unknown policy: " + name) from None

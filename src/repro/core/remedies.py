@@ -1,0 +1,93 @@
+"""Named policy x mechanism bundles — the six rows of Table I.
+
+The paper evaluates the cross product of {original, remedied} policy
+and {original, modified} mechanism.  A :class:`RemedyBundle` names one
+combination and builds fresh policy/mechanism instances for each
+balancer (policies are stateful; they must never be shared between
+Apaches).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.mechanism import GetEndpointMechanism, make_mechanism
+from repro.core.policies import Policy, make_policy
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class RemedyBundle:
+    """One (policy, mechanism) combination under its Table-I name."""
+
+    key: str
+    policy_name: str
+    mechanism_name: str
+    description: str
+
+    def make_policy(self) -> Policy:
+        return make_policy(self.policy_name)
+
+    def make_mechanism(self) -> GetEndpointMechanism:
+        return make_mechanism(self.mechanism_name)
+
+    @property
+    def is_remedied(self) -> bool:
+        """Whether at least one level carries a remedy."""
+        return (self.policy_name == "current_load"
+                or self.mechanism_name == "modified")
+
+
+#: Table I rows, in the paper's order.
+TABLE1_BUNDLES: tuple[RemedyBundle, ...] = (
+    RemedyBundle(
+        key="original_total_request",
+        policy_name="total_request",
+        mechanism_name="original",
+        description="Original total_request",
+    ),
+    RemedyBundle(
+        key="original_total_traffic",
+        policy_name="total_traffic",
+        mechanism_name="original",
+        description="Original total_traffic",
+    ),
+    RemedyBundle(
+        key="current_load",
+        policy_name="current_load",
+        mechanism_name="original",
+        description="Current_load",
+    ),
+    RemedyBundle(
+        key="total_request_modified",
+        policy_name="total_request",
+        mechanism_name="modified",
+        description="Total_request with modified get_endpoint",
+    ),
+    RemedyBundle(
+        key="total_traffic_modified",
+        policy_name="total_traffic",
+        mechanism_name="modified",
+        description="Total_traffic with modified get_endpoint",
+    ),
+    RemedyBundle(
+        key="current_load_modified",
+        policy_name="current_load",
+        mechanism_name="modified",
+        description="Current_workload with modified get_endpoint",
+    ),
+)
+
+BUNDLES: dict[str, RemedyBundle] = {
+    bundle.key: bundle for bundle in TABLE1_BUNDLES
+}
+
+
+def get_bundle(key: str) -> RemedyBundle:
+    """Look up a Table-I bundle by key."""
+    try:
+        return BUNDLES[key]
+    except KeyError:
+        raise ConfigurationError(
+            "unknown remedy bundle: {} (have: {})".format(
+                key, ", ".join(sorted(BUNDLES)))) from None

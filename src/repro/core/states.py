@@ -1,0 +1,58 @@
+"""The 3-state worker lifecycle of the Apache load balancer (§IV-A).
+
+mod_jk assumes a backend is in one of three states:
+
+* **Available** — can take requests;
+* **Busy** — temporarily failed to hand out an endpoint;
+* **Error** — unreachable, excluded from scheduling.
+
+The paper's §IV shows this model breaks under millibottlenecks: a
+stalled server stays *Available* while the mechanism polls it.  The
+state machine here implements both the classic transitions and the
+timing knobs (recheck/recovery) that govern them.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+
+
+class MemberState(enum.Enum):
+    """State of one backend as seen by one load balancer."""
+
+    AVAILABLE = "available"
+    BUSY = "busy"
+    ERROR = "error"
+
+
+@dataclass(frozen=True)
+class StateConfig:
+    """Timing knobs of the 3-state machine.
+
+    Parameters
+    ----------
+    busy_recheck:
+        Seconds after which a Busy member becomes eligible for another
+        endpoint probe.
+    max_busy_retries:
+        Consecutive failed probes before a Busy member is declared
+        Error (§IV-A: "if the retries fail after a specified number").
+    error_recovery:
+        Seconds an Error member is excluded before being probed again
+        (mod_jk's ``recover_time``, scaled down for simulation runs).
+    """
+
+    busy_recheck: float = 0.1
+    max_busy_retries: int = 10
+    error_recovery: float = 10.0
+
+    def __post_init__(self) -> None:
+        if self.busy_recheck <= 0:
+            raise ConfigurationError("busy_recheck must be positive")
+        if self.max_busy_retries < 1:
+            raise ConfigurationError("max_busy_retries must be >= 1")
+        if self.error_recovery <= 0:
+            raise ConfigurationError("error_recovery must be positive")

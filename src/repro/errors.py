@@ -1,0 +1,47 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+Every error raised deliberately by this library derives from
+:class:`ReproError`, so callers can catch library failures without
+masking programming errors such as :class:`TypeError`.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class SimulationError(ReproError):
+    """The discrete-event simulation kernel detected an inconsistency."""
+
+
+class StopSimulation(Exception):
+    """Internal control-flow signal used to stop :meth:`Environment.run`.
+
+    Not a :class:`ReproError`: user code should never catch it.
+    """
+
+    def __init__(self, value: object = None) -> None:
+        super().__init__(value)
+        self.value = value
+
+
+class ConfigurationError(ReproError):
+    """An experiment, topology, or component was configured inconsistently."""
+
+
+class WorkloadError(ReproError):
+    """The workload generator was asked for something it cannot produce."""
+
+
+class BalancerError(ReproError):
+    """The load balancer could not dispatch a request."""
+
+
+class NoCandidateError(BalancerError):
+    """Every backend worker is in the Error state; nothing can be picked."""
+
+
+class AnalysisError(ReproError):
+    """An analysis routine received data it cannot interpret."""

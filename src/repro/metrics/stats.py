@@ -1,0 +1,86 @@
+"""Summary statistics for response-time populations.
+
+Provides the exact quantities Table I of the paper reports — average
+response time, %VLRT (>1000 ms) and %normal (<10 ms) — plus the usual
+long-tail percentiles.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.errors import AnalysisError
+
+#: Threshold above which the paper classifies a request as VLRT.
+VLRT_THRESHOLD = 1.000
+#: Threshold below which the paper classifies a request as "normal".
+NORMAL_THRESHOLD = 0.010
+
+
+def percentile(samples: Sequence[float], q: float) -> float:
+    """The ``q``-th percentile (0..100) using linear interpolation."""
+    if not len(samples):
+        raise AnalysisError("no samples")
+    if not 0 <= q <= 100:
+        raise AnalysisError("percentile must be in [0, 100]")
+    return float(np.percentile(np.asarray(samples), q))
+
+
+@dataclass(frozen=True)
+class ResponseTimeStats:
+    """Summary of a response-time population (all times in seconds)."""
+
+    count: int
+    mean: float
+    median: float
+    p95: float
+    p99: float
+    p999: float
+    max: float
+    vlrt_count: int
+    normal_count: int
+
+    @property
+    def vlrt_fraction(self) -> float:
+        """Fraction of requests slower than :data:`VLRT_THRESHOLD`."""
+        return self.vlrt_count / self.count if self.count else 0.0
+
+    @property
+    def normal_fraction(self) -> float:
+        """Fraction of requests faster than :data:`NORMAL_THRESHOLD`."""
+        return self.normal_count / self.count if self.count else 0.0
+
+    @property
+    def mean_ms(self) -> float:
+        """Mean response time in milliseconds (Table I's unit)."""
+        return self.mean * 1000.0
+
+    def row(self) -> dict[str, float]:
+        """A Table-I-shaped row."""
+        return {
+            "total_requests": self.count,
+            "avg_response_time_ms": round(self.mean_ms, 2),
+            "vlrt_pct": round(100.0 * self.vlrt_fraction, 2),
+            "normal_pct": round(100.0 * self.normal_fraction, 2),
+        }
+
+    @classmethod
+    def from_samples(cls, samples: Sequence[float]) -> "ResponseTimeStats":
+        """Compute all statistics from raw response times (seconds)."""
+        if not len(samples):
+            raise AnalysisError("cannot summarise zero requests")
+        array = np.asarray(samples, dtype=float)
+        return cls(
+            count=int(array.size),
+            mean=float(array.mean()),
+            median=float(np.percentile(array, 50)),
+            p95=float(np.percentile(array, 95)),
+            p99=float(np.percentile(array, 99)),
+            p999=float(np.percentile(array, 99.9)),
+            max=float(array.max()),
+            vlrt_count=int((array > VLRT_THRESHOLD).sum()),
+            normal_count=int((array < NORMAL_THRESHOLD).sum()),
+        )

@@ -1,0 +1,73 @@
+"""Throughput and goodput accounting.
+
+Complements the response-time metrics with the rate view: completed
+requests per window (throughput), completions under the interactive
+threshold per window (goodput), and offered-vs-carried comparisons for
+open-loop experiments.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.errors import AnalysisError
+from repro.metrics.recorder import ResponseTimeRecorder
+from repro.metrics.stats import NORMAL_THRESHOLD
+from repro.metrics.timeseries import TimeSeries
+from repro.metrics.windows import PAPER_WINDOW, WindowedCounter
+
+
+def throughput_series(recorder: ResponseTimeRecorder,
+                      window: float = 1.0,
+                      until: Optional[float] = None,
+                      goodput_threshold: Optional[float] = None
+                      ) -> TimeSeries:
+    """Completions per second, per fixed window of completion time.
+
+    With ``goodput_threshold`` only requests faster than the threshold
+    count — the *goodput* the users actually perceived.
+    """
+    if window <= 0:
+        raise AnalysisError("window must be positive")
+    counter = WindowedCounter(window, recorder.name + ".tput")
+    for request in recorder.requests:
+        if (goodput_threshold is not None
+                and request.response_time > goodput_threshold):
+            continue
+        counter.record(request.finished_at)
+    series = counter.series(until=until)
+    # Convert counts per window into a per-second rate.
+    out = TimeSeries(series.name)
+    for time, count in series:
+        out.append(time, count / window)
+    return out
+
+
+def goodput_series(recorder: ResponseTimeRecorder,
+                   window: float = 1.0,
+                   until: Optional[float] = None,
+                   threshold: float = NORMAL_THRESHOLD * 10
+                   ) -> TimeSeries:
+    """Completions faster than ``threshold`` (default 100 ms) per second."""
+    return throughput_series(recorder, window, until,
+                             goodput_threshold=threshold)
+
+
+def goodput_ratio(recorder: ResponseTimeRecorder,
+                  threshold: float = NORMAL_THRESHOLD * 10) -> float:
+    """Fraction of all completions faster than ``threshold``."""
+    if not len(recorder):
+        raise AnalysisError("no completed requests")
+    good = sum(1 for request in recorder.requests
+               if request.response_time <= threshold)
+    return good / len(recorder)
+
+
+def interval_throughput(recorder: ResponseTimeRecorder,
+                        start: float, end: float) -> float:
+    """Mean completions per second over ``[start, end)``."""
+    if end <= start:
+        raise AnalysisError("empty interval")
+    completed = sum(1 for request in recorder.requests
+                    if start <= request.finished_at < end)
+    return completed / (end - start)

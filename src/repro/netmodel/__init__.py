@@ -1,0 +1,18 @@
+"""Network substrate: accept queues, links, and TCP retransmission.
+
+The piece of networking that matters to this paper is small but
+precise: finite accept queues drop packets when they overflow, and
+clients retransmit dropped packets on a timer — turning a
+150-millisecond millibottleneck into multi-second response times.
+"""
+
+from repro.netmodel.sockets import Link, ListenSocket
+from repro.netmodel.tcp import GaveUp, RetransmissionPolicy, TcpSender
+
+__all__ = [
+    "ListenSocket",
+    "Link",
+    "TcpSender",
+    "RetransmissionPolicy",
+    "GaveUp",
+]

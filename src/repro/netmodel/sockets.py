@@ -1,0 +1,101 @@
+"""Listen sockets: finite accept queues that drop on overflow.
+
+A :class:`ListenSocket` is the kernel-side accept queue of a server.
+Crucially, the kernel keeps accepting into this queue even while the
+*application* is frozen by a millibottleneck — which is why a stalled
+Tomcat silently absorbs requests instead of refusing them, and why the
+web tier (whose own queue eventually overflows) is where packets die.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Callable, Optional
+
+from repro.metrics.timeseries import TimeSeries
+from repro.sim.queues import DropQueue
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.core import Environment
+
+
+class ListenSocket:
+    """Named accept queue with overflow drops and a length timeline."""
+
+    def __init__(self, env: "Environment", backlog: int,
+                 name: str = "socket",
+                 on_drop: Optional[Callable[[object], None]] = None) -> None:
+        self.env = env
+        self.name = name
+        self._user_on_drop = on_drop
+        self._queue = DropQueue(env, capacity=backlog, on_drop=self._dropped)
+        #: (time, item) drop log for analysis.
+        self.drop_log: list[tuple[float, object]] = []
+
+    def _dropped(self, item: object) -> None:
+        self.drop_log.append((self.env.now, item))
+        if self._user_on_drop is not None:
+            self._user_on_drop(item)
+
+    # -- data path ---------------------------------------------------------
+    def offer(self, item: object) -> bool:
+        """Non-blocking enqueue; ``False`` means the packet was dropped."""
+        return self._queue.offer(item)
+
+    def accept(self):
+        """Event that triggers with the oldest queued item."""
+        return self._queue.get()
+
+    # -- observability -------------------------------------------------------
+    @property
+    def backlog(self) -> int:
+        return self._queue.capacity
+
+    @property
+    def queue_length(self) -> int:
+        return len(self._queue)
+
+    @property
+    def dropped(self) -> int:
+        return self._queue.dropped
+
+    @property
+    def accepted(self) -> int:
+        return self._queue.accepted
+
+    @property
+    def peak_length(self) -> int:
+        return self._queue.peak_length
+
+    def drops_between(self, start: float, end: float) -> int:
+        """Packets dropped with ``start <= time < end``."""
+        return sum(1 for time, _ in self.drop_log if start <= time < end)
+
+    def __repr__(self) -> str:
+        return "<ListenSocket {} {}/{} dropped={}>".format(
+            self.name, self.queue_length, self.backlog, self.dropped)
+
+
+class Link:
+    """A network hop with fixed one-way latency.
+
+    The paper's testbed uses a 1 Gbps LAN; propagation is microseconds
+    and never the bottleneck, but modelling it keeps event ordering
+    honest (a reply cannot arrive in the same instant it was sent).
+    """
+
+    def __init__(self, env: "Environment", latency: float = 0.0002,
+                 name: str = "link") -> None:
+        if latency < 0:
+            raise ValueError("latency must be >= 0")
+        self.env = env
+        self.latency = latency
+        self.name = name
+        self.messages = 0
+
+    def delay(self):
+        """Event representing one traversal of the link."""
+        self.messages += 1
+        return self.env.timeout(self.latency)
+
+    def __repr__(self) -> str:
+        return "<Link {} {:.3f} ms>".format(self.name, self.latency * 1000)

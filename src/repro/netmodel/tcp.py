@@ -1,0 +1,98 @@
+"""TCP-style drop-and-retransmit behaviour.
+
+The paper traces VLRT requests to one mechanism: a millibottleneck fills
+queues upstream until the web tier's accept queue overflows, arriving
+packets are dropped, and the client's TCP stack retransmits them on its
+retransmission timer.  The retransmitted request then completes quickly
+— but its end-to-end response time includes one or more full timer
+periods, producing the distinct clusters near 1 s, 2 s and 3 s in
+Fig. 4.
+
+:class:`RetransmissionPolicy` captures the timer; :class:`TcpSender`
+drives send-with-retransmit against a listen socket.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+from repro.errors import ConfigurationError
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.netmodel.sockets import ListenSocket
+    from repro.sim.core import Environment
+
+
+@dataclass(frozen=True)
+class RetransmissionPolicy:
+    """Client retransmission timer.
+
+    Parameters
+    ----------
+    initial_rto:
+        Seconds from a (silently dropped) send to its first retransmit.
+    backoff:
+        Multiplier applied to the timer after every unanswered attempt.
+        ``1.0`` (the default) retransmits every ``initial_rto`` seconds,
+        which yields completion clusters at ``initial_rto`` multiples —
+        the paper's 1 s / 2 s / 3 s clusters.
+    max_retries:
+        Attempts after the first send before the request is abandoned.
+    """
+
+    initial_rto: float = 1.0
+    backoff: float = 1.0
+    max_retries: int = 6
+
+    def __post_init__(self) -> None:
+        if self.initial_rto <= 0:
+            raise ConfigurationError("initial_rto must be positive")
+        if self.backoff < 1.0:
+            raise ConfigurationError("backoff must be >= 1.0")
+        if self.max_retries < 0:
+            raise ConfigurationError("max_retries must be >= 0")
+
+    def rto_after(self, attempt: int) -> float:
+        """Timer value after ``attempt`` unanswered sends (0-based)."""
+        if attempt < 0:
+            raise ConfigurationError("attempt must be >= 0")
+        return self.initial_rto * (self.backoff ** attempt)
+
+
+class GaveUp(Exception):
+    """Raised by :meth:`TcpSender.send` when every retransmit was dropped."""
+
+
+class TcpSender:
+    """Send-with-retransmit against listen sockets, with drop counters."""
+
+    def __init__(self, env: "Environment",
+                 policy: RetransmissionPolicy | None = None) -> None:
+        self.env = env
+        self.policy = policy or RetransmissionPolicy()
+        #: Total packets handed to sockets (including retransmits).
+        self.packets_sent = 0
+        #: Packets dropped at the receiving socket.
+        self.packets_dropped = 0
+        #: Requests abandoned after ``max_retries``.
+        self.gave_up = 0
+
+    def send(self, socket: "ListenSocket", item: object):
+        """Process generator: deliver ``item``, retransmitting on drops.
+
+        Returns the number of retransmissions needed (0 when the first
+        send is accepted).  Raises :class:`GaveUp` when the policy's
+        retry budget is exhausted.
+        """
+        for attempt in range(self.policy.max_retries + 1):
+            self.packets_sent += 1
+            if socket.offer(item):
+                return attempt
+            self.packets_dropped += 1
+            if attempt == self.policy.max_retries:
+                break
+            yield self.env.timeout(self.policy.rto_after(attempt))
+        self.gave_up += 1
+        raise GaveUp("request dropped {} times".format(
+            self.policy.max_retries + 1))

@@ -1,0 +1,81 @@
+"""A simulated machine: cores, page cache, disk, and the flush daemon.
+
+Each tier server in :mod:`repro.tiers` owns one :class:`Host`.  The
+host is where the substrate layers meet: request processing burns CPU
+via :meth:`execute`, log writes dirty the page cache via
+:meth:`write_file`, and the flush daemon periodically turns those dirty
+pages into a millibottleneck.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Optional
+
+from repro.metrics.timeseries import TimeSeries
+from repro.osmodel.cpu import Cpu
+from repro.osmodel.disk import DEFAULT_WRITE_BANDWIDTH, Disk
+from repro.osmodel.pagecache import PageCache
+from repro.osmodel.pdflush import FlushDaemon, MillibottleneckRecord
+from repro.osmodel.profiles import MillibottleneckProfile
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.core import Environment
+
+#: Core count of the paper's Emulab d710 nodes (Xeon E5530 quad-core).
+DEFAULT_CORES = 4
+
+
+class Host:
+    """One machine of the testbed.
+
+    Parameters
+    ----------
+    env:
+        Owning simulation environment.
+    name:
+        Host name used in metrics and reports (e.g. ``"tomcat1"``).
+    cores:
+        CPU core count.
+    disk_bandwidth:
+        Write-back bandwidth in bytes/second.
+    flush_profile:
+        Millibottleneck behaviour; ``None`` disables the flush daemon
+        entirely (equivalent to ``MillibottleneckProfile.disabled()``).
+    """
+
+    def __init__(self, env: "Environment", name: str,
+                 cores: int = DEFAULT_CORES,
+                 disk_bandwidth: float = DEFAULT_WRITE_BANDWIDTH,
+                 flush_profile: Optional[MillibottleneckProfile] = None) -> None:
+        self.env = env
+        self.name = name
+        self.cpu = Cpu(env, cores, name + ".cpu")
+        self.disk = Disk(env, disk_bandwidth, name + ".disk")
+        self.pagecache = PageCache(env, name + ".pagecache")
+        #: Ground-truth stall records appended by the flush daemon.
+        self.millibottlenecks: list[MillibottleneckRecord] = []
+        self.flush_profile = flush_profile or MillibottleneckProfile.disabled()
+        self.flush_daemon = FlushDaemon(self, self.flush_profile)
+        #: Optional dirty-byte timeline, filled by observers (Fig. 2(e)).
+        self.dirty_series = TimeSeries(name + ".dirty")
+
+    def execute(self, cpu_seconds: float):
+        """Process generator: run foreground work for ``cpu_seconds``."""
+        return self.cpu.execute(cpu_seconds)
+
+    def write_file(self, nbytes: float) -> None:
+        """Buffered file write (returns immediately; dirties pages)."""
+        self.pagecache.write(nbytes)
+
+    def record_dirty_sample(self) -> None:
+        """Append the current dirty-set size to :attr:`dirty_series`."""
+        self.dirty_series.append(self.env.now, self.pagecache.dirty_bytes)
+
+    def stalled_during(self, start: float, end: float) -> bool:
+        """Whether a millibottleneck overlapped ``[start, end)``."""
+        return any(record.started_at < end and record.ended_at > start
+                   for record in self.millibottlenecks)
+
+    def __repr__(self) -> str:
+        return "<Host {} cores={} millibottlenecks={}>".format(
+            self.name, self.cpu.cores, len(self.millibottlenecks))

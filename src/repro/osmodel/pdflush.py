@@ -1,0 +1,80 @@
+"""The flush daemon (pdflush) — root cause of the paper's millibottlenecks.
+
+Every ``flush_interval`` seconds the daemon checks the host's dirty
+set; if it exceeds the threshold, it claims the disk's write channel
+*and every CPU core* (iowait) for the duration of the write-back burst.
+That burst — tens to hundreds of milliseconds — is the millibottleneck:
+the host is technically "up" and its TCP stack still accepts
+connections, but no request makes progress until the flush completes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+from repro.osmodel.profiles import MillibottleneckProfile
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.osmodel.host import Host
+
+
+@dataclass(frozen=True)
+class MillibottleneckRecord:
+    """Ground truth about one flush-induced stall (for validating detectors)."""
+
+    host: str
+    started_at: float
+    ended_at: float
+    bytes_flushed: float
+
+    @property
+    def duration(self) -> float:
+        return self.ended_at - self.started_at
+
+
+class FlushDaemon:
+    """Periodic write-back daemon attached to one :class:`Host`."""
+
+    def __init__(self, host: "Host", profile: MillibottleneckProfile) -> None:
+        self.host = host
+        self.profile = profile
+        self.flushes = 0
+        self._process = None
+        if profile.enabled:
+            self._process = host.env.process(self._run())
+
+    @property
+    def running(self) -> bool:
+        return self._process is not None and self._process.is_alive
+
+    def _run(self):
+        env = self.host.env
+        if self.profile.phase > 0:
+            yield env.timeout(self.profile.phase)
+        while True:
+            yield env.timeout(self.profile.flush_interval)
+            if (self.host.pagecache.dirty_bytes
+                    >= self.profile.dirty_threshold_bytes):
+                yield from self._flush()
+
+    def _flush(self):
+        """One write-back burst: stall all cores while the disk writes."""
+        env = self.host.env
+        amount = self.host.pagecache.take_all()
+        if amount <= 0:
+            return
+        duration = self.host.disk.write_duration(amount)
+        started_at = env.now
+        # The disk writes while the cores sit in iowait; both last for
+        # the write-back duration.
+        write_process = env.process(self.host.disk.write(amount))
+        yield from self.host.cpu.stall(duration)
+        yield write_process
+        self.flushes += 1
+        self.host.millibottlenecks.append(MillibottleneckRecord(
+            host=self.host.name,
+            started_at=started_at,
+            ended_at=env.now,
+            bytes_flushed=amount,
+        ))

@@ -1,0 +1,181 @@
+"""The discrete-event simulation environment.
+
+:class:`Environment` owns the simulation clock and the pending-event
+heap.  Time is a ``float`` in **seconds**; the models in this package
+operate at sub-millisecond resolution, which is the whole point of
+studying millibottlenecks.
+
+Typical usage::
+
+    env = Environment()
+
+    def hello(env):
+        yield env.timeout(1.0)
+        return "done"
+
+    proc = env.process(hello(env))
+    env.run(until=10.0)
+    assert proc.value == "done"
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Iterable, Optional
+
+from repro.errors import SimulationError, StopSimulation
+from repro.sim.events import (
+    NORMAL,
+    URGENT,
+    AllOf,
+    AnyOf,
+    Event,
+    Timeout,
+)
+from repro.sim.process import Process, ProcessGenerator
+
+__all__ = ["Environment", "NORMAL", "URGENT"]
+
+
+class Environment:
+    """Execution environment for a discrete-event simulation.
+
+    Parameters
+    ----------
+    initial_time:
+        Clock value at the start of the simulation (seconds).
+    """
+
+    def __init__(self, initial_time: float = 0.0) -> None:
+        self._now = float(initial_time)
+        self._queue: list[tuple[float, int, int, Event]] = []
+        self._eid = 0
+        self._active_process: Optional[Process] = None
+
+    # -- introspection ---------------------------------------------------
+    @property
+    def now(self) -> float:
+        """Current simulated time in seconds."""
+        return self._now
+
+    @property
+    def active_process(self) -> Optional[Process]:
+        """The process currently being resumed, if any."""
+        return self._active_process
+
+    def peek(self) -> float:
+        """Time of the next scheduled event, or ``inf`` if none remain."""
+        return self._queue[0][0] if self._queue else float("inf")
+
+    def __len__(self) -> int:
+        return len(self._queue)
+
+    # -- scheduling ------------------------------------------------------
+    def schedule(self, event: Event, priority: int = NORMAL,
+                 delay: float = 0.0) -> None:
+        """Put a triggered event on the heap ``delay`` seconds from now."""
+        if delay < 0:
+            raise SimulationError("cannot schedule into the past")
+        self._eid += 1
+        heapq.heappush(self._queue, (self._now + delay, priority,
+                                     self._eid, event))
+
+    # -- event factories ---------------------------------------------------
+    def event(self) -> Event:
+        """Create a fresh, untriggered event."""
+        return Event(self)
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        """Create an event that triggers ``delay`` seconds from now."""
+        return Timeout(self, delay, value)
+
+    def process(self, generator: ProcessGenerator) -> Process:
+        """Start a new process from ``generator`` and return it."""
+        return Process(self, generator)
+
+    def all_of(self, events: Iterable[Event]) -> AllOf:
+        """An event that triggers once every event in ``events`` has."""
+        return AllOf(self, events)
+
+    def any_of(self, events: Iterable[Event]) -> AnyOf:
+        """An event that triggers once any event in ``events`` has."""
+        return AnyOf(self, events)
+
+    # -- execution ---------------------------------------------------------
+    def step(self) -> None:
+        """Process the single next event.
+
+        Raises
+        ------
+        SimulationError
+            If the event heap is empty.
+        """
+        try:
+            when, _, _, event = heapq.heappop(self._queue)
+        except IndexError:
+            raise SimulationError("no scheduled events") from None
+
+        if when < self._now:  # pragma: no cover - heap guarantees order
+            raise SimulationError("time ran backwards")
+        self._now = when
+
+        callbacks = event.callbacks
+        event.callbacks = None
+        for callback in callbacks:
+            callback(event)
+
+        if not event._ok and not event._defused:
+            # A failure that nobody handled: surface it loudly.
+            exc = event._value
+            raise exc
+
+    def run(self, until: Any = None) -> Any:
+        """Run the simulation.
+
+        Parameters
+        ----------
+        until:
+            ``None`` — run until no events remain.
+            a number — run until the clock reaches that time.
+            an :class:`Event` — run until that event is processed and
+            return its value.
+        """
+        stop_event: Optional[Event] = None
+        if until is None:
+            pass
+        elif isinstance(until, Event):
+            stop_event = until
+            if stop_event.callbacks is None:
+                return stop_event.value
+            stop_event.callbacks.append(_stop_callback)
+        else:
+            deadline = float(until)
+            if deadline < self._now:
+                raise SimulationError(
+                    "until ({}) is before current time ({})".format(
+                        deadline, self._now))
+            stop_event = Event(self)
+            stop_event._ok = True
+            stop_event._value = None
+            stop_event.callbacks.append(_stop_callback)
+            self.schedule(stop_event, priority=URGENT,
+                          delay=deadline - self._now)
+
+        try:
+            while self._queue:
+                self.step()
+        except StopSimulation as stop:
+            return stop.value
+
+        if stop_event is not None and isinstance(until, Event):
+            raise SimulationError(
+                "simulation ran out of events before {!r} triggered".format(
+                    until))
+        return None
+
+
+def _stop_callback(event: Event) -> None:
+    if event._ok:
+        raise StopSimulation(event._value)
+    event.defuse()
+    raise event._value

@@ -1,0 +1,88 @@
+"""Sampling probes for simulation state.
+
+The paper's methodology rests on *fine-grained* monitoring: queue
+lengths, CPU utilisation and dirty-page sizes sampled at 50 ms windows.
+:class:`Sampler` runs a probe function on a fixed period and records
+``(time, value)`` pairs; :class:`TraceLog` records discrete events.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Callable, Optional
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.core import Environment
+
+
+class Sampler:
+    """Periodically evaluate ``probe()`` and record the results.
+
+    Parameters
+    ----------
+    env:
+        Owning environment.
+    probe:
+        Zero-argument callable returning the value to record.
+    period:
+        Sampling period in seconds (default 50 ms, the paper's window).
+    name:
+        Label used in reports.
+    """
+
+    def __init__(self, env: "Environment", probe: Callable[[], Any],
+                 period: float = 0.050, name: str = "") -> None:
+        if period <= 0:
+            raise ValueError("period must be positive")
+        self.env = env
+        self.probe = probe
+        self.period = period
+        self.name = name
+        self.times: list[float] = []
+        self.values: list[Any] = []
+        self._process = env.process(self._run())
+
+    def _run(self):
+        from repro.sim.events import Interrupt
+
+        try:
+            while True:
+                self.times.append(self.env.now)
+                self.values.append(self.probe())
+                yield self.env.timeout(self.period)
+        except Interrupt:
+            return
+
+    def stop(self) -> None:
+        """Stop sampling (safe to call once)."""
+        if self._process.is_alive:
+            self._process.interrupt("sampler stopped")
+
+    def series(self) -> tuple[list[float], list[Any]]:
+        """Return ``(times, values)`` recorded so far."""
+        return self.times, self.values
+
+    def __len__(self) -> int:
+        return len(self.times)
+
+
+class TraceLog:
+    """Append-only log of ``(time, payload)`` records."""
+
+    def __init__(self, env: "Environment", name: str = "") -> None:
+        self.env = env
+        self.name = name
+        self.records: list[tuple[float, Any]] = []
+
+    def log(self, payload: Any) -> None:
+        """Record ``payload`` at the current simulated time."""
+        self.records.append((self.env.now, payload))
+
+    def between(self, start: float, end: float) -> list[tuple[float, Any]]:
+        """Records with ``start <= time < end``."""
+        return [r for r in self.records if start <= r[0] < end]
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def __iter__(self):
+        return iter(self.records)

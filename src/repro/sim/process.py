@@ -1,0 +1,144 @@
+"""Generator-based simulation processes.
+
+A *process* wraps a Python generator.  The generator yields
+:class:`~repro.sim.events.Event` instances; when a yielded event
+triggers, the process resumes with the event's value (or, for failed
+events, the event's exception is thrown into the generator).
+
+A process is itself an event: it triggers when its generator returns,
+with the generator's return value.  This lets processes wait for each
+other simply by yielding them.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Generator, Optional
+
+from repro.errors import SimulationError
+from repro.sim.events import URGENT, Event, Initialize, Interrupt
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.sim.core import Environment
+
+ProcessGenerator = Generator[Event, Any, Any]
+
+
+class Process(Event):
+    """Drives a generator, resuming it each time a yielded event fires."""
+
+    def __init__(self, env: "Environment", generator: ProcessGenerator) -> None:
+        if not hasattr(generator, "send") or not hasattr(generator, "throw"):
+            raise TypeError(
+                "Process requires a generator, got {!r}".format(generator))
+        super().__init__(env)
+        self._generator = generator
+        #: The event this process is currently waiting on (``None`` while
+        #: the process is being resumed or after it finished).
+        self._target: Optional[Event] = None
+        Initialize(env, self)
+
+    def __repr__(self) -> str:
+        name = getattr(self._generator, "__name__", repr(self._generator))
+        return "<Process {} {}>".format(
+            name, "done" if self.triggered else "active")
+
+    @property
+    def target(self) -> Optional[Event]:
+        """The event the process is waiting for, if any."""
+        return self._target
+
+    @property
+    def is_alive(self) -> bool:
+        """``True`` while the underlying generator has not finished."""
+        return not self.triggered
+
+    def interrupt(self, cause: Any = None) -> None:
+        """Throw an :class:`Interrupt` into the process.
+
+        The interrupt is delivered asynchronously via an urgent event, so
+        the caller continues first.  Interrupting a finished process is an
+        error; interrupting yourself is too (a process cannot pre-empt
+        itself).
+        """
+        if self.triggered:
+            raise SimulationError(
+                "cannot interrupt finished process {!r}".format(self))
+        if self is self.env.active_process:
+            raise SimulationError("a process cannot interrupt itself")
+        interrupt_event = Event(self.env)
+        interrupt_event._ok = False
+        interrupt_event._value = Interrupt(cause)
+        interrupt_event._defused = True
+        interrupt_event.callbacks.append(self._deliver_interrupt)
+        self.env.schedule(interrupt_event, priority=URGENT)
+
+    def _deliver_interrupt(self, event: Event) -> None:
+        """Deliver an interrupt unless the process finished in the meantime.
+
+        Interrupts are delivered asynchronously, so the target process may
+        legitimately terminate between :meth:`interrupt` and delivery; such
+        late interrupts are dropped, matching real signal semantics.
+        """
+        if not self.triggered:
+            self._resume(event)
+
+    def _resume(self, event: Event) -> None:
+        """Resume the generator with the outcome of ``event``."""
+        self.env._active_process = self
+
+        while True:
+            # Detach from the previous target: if we were interrupted
+            # while waiting, the old target may fire later and must not
+            # resume us again.
+            if self._target is not None and self._target.callbacks is not None:
+                try:
+                    self._target.callbacks.remove(self._resume)
+                except ValueError:
+                    pass
+            self._target = None
+
+            try:
+                if event._ok:
+                    next_event = self._generator.send(event._value)
+                else:
+                    # The event failed; re-raise inside the generator.
+                    event.defuse()
+                    next_event = self._generator.throw(event._value)
+            except StopIteration as exc:
+                self._outcome_ok(exc.value)
+                break
+            except BaseException as exc:
+                self._outcome_fail(exc)
+                break
+
+            if not isinstance(next_event, Event):
+                exc = SimulationError(
+                    "process yielded a non-event: {!r}".format(next_event))
+                try:
+                    self._generator.throw(exc)
+                except StopIteration as stop:
+                    self._outcome_ok(stop.value)
+                except BaseException as err:
+                    self._outcome_fail(err)
+                break
+
+            if next_event.callbacks is not None:
+                # Pending or triggered-but-unprocessed: wait for it.
+                self._target = next_event
+                next_event.callbacks.append(self._resume)
+                break
+
+            # Already processed: feed its outcome straight back in.
+            event = next_event
+
+        self.env._active_process = None
+
+    def _outcome_ok(self, value: Any) -> None:
+        self._ok = True
+        self._value = value
+        self.env.schedule(self)
+
+    def _outcome_fail(self, exc: BaseException) -> None:
+        self._ok = False
+        self._value = exc
+        self.env.schedule(self)

@@ -1,0 +1,186 @@
+"""Item queues for message passing between simulation components.
+
+Two flavours are provided:
+
+* :class:`Store` — unbounded (or blocking-bounded) FIFO of arbitrary
+  items; ``put`` and ``get`` are events.
+* :class:`DropQueue` — a finite queue with a **non-blocking** ``offer``
+  that *drops* the item when the queue is full.  This models a TCP
+  listen/accept queue: an arriving SYN either lands in the backlog or
+  is silently discarded, it never blocks the sender.  Drop callbacks
+  let the network layer schedule retransmissions.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import TYPE_CHECKING, Any, Callable, Optional
+
+from repro.sim.events import Event
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.core import Environment
+
+
+class StorePut(Event):
+    """Pending ``put`` on a :class:`Store`."""
+
+    def __init__(self, store: "Store", item: Any) -> None:
+        super().__init__(store.env)
+        self.item = item
+        store._put_queue.append(self)
+        store._settle()
+
+
+class StoreGet(Event):
+    """Pending ``get`` on a :class:`Store`."""
+
+    def __init__(self, store: "Store") -> None:
+        super().__init__(store.env)
+        store._get_queue.append(self)
+        store._settle()
+
+    def cancel(self) -> None:
+        """Withdraw this get if it has not been fulfilled yet."""
+        if not self.triggered:
+            # deque.remove is O(n) but get queues stay short in practice.
+            try:
+                # Find owning store via callback-free bookkeeping: the
+                # store reference is kept on the event by __init__ below.
+                self._store._get_queue.remove(self)
+            except ValueError:
+                pass
+
+
+class Store:
+    """FIFO of items with event-based ``put``/``get``.
+
+    Parameters
+    ----------
+    env:
+        Owning environment.
+    capacity:
+        Maximum items held; ``put`` events wait (do not drop) while the
+        store is full.  Defaults to unbounded.
+    """
+
+    def __init__(self, env: "Environment",
+                 capacity: float = float("inf")) -> None:
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        self.env = env
+        self._capacity = capacity
+        self.items: deque[Any] = deque()
+        self._put_queue: deque[StorePut] = deque()
+        self._get_queue: deque[StoreGet] = deque()
+
+    def __repr__(self) -> str:
+        return "<Store items={} capacity={}>".format(
+            len(self.items), self._capacity)
+
+    def __len__(self) -> int:
+        return len(self.items)
+
+    @property
+    def capacity(self) -> float:
+        return self._capacity
+
+    def put(self, item: Any) -> StorePut:
+        """Append ``item``; the event triggers once the item is stored."""
+        return StorePut(self, item)
+
+    def get(self) -> StoreGet:
+        """Take the oldest item; the event triggers with that item."""
+        event = StoreGet(self)
+        event._store = self
+        return event
+
+    def _settle(self) -> None:
+        progressed = True
+        while progressed:
+            progressed = False
+            if self._put_queue and len(self.items) < self._capacity:
+                put = self._put_queue.popleft()
+                self.items.append(put.item)
+                put.succeed(put.item)
+                progressed = True
+            if self._get_queue and self.items:
+                get = self._get_queue.popleft()
+                item = self.items.popleft()
+                get.succeed(item)
+                progressed = True
+
+
+class DropQueue:
+    """Finite FIFO that drops on overflow instead of blocking.
+
+    The occupancy counted against ``capacity`` is ``len(items)`` plus
+    any *reserved* slots (see :meth:`reserve`), mirroring how a kernel
+    accept queue counts not-yet-accepted connections.
+    """
+
+    def __init__(self, env: "Environment", capacity: int,
+                 on_drop: Optional[Callable[[Any], None]] = None) -> None:
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        self.env = env
+        self._capacity = int(capacity)
+        self.items: deque[Any] = deque()
+        self._get_queue: deque[StoreGet] = deque()
+        self._on_drop = on_drop
+        #: Counters for observability.
+        self.offered = 0
+        self.accepted = 0
+        self.dropped = 0
+        #: High-water mark of the queue length.
+        self.peak_length = 0
+
+    def __repr__(self) -> str:
+        return "<DropQueue {}/{} dropped={}>".format(
+            len(self.items), self._capacity, self.dropped)
+
+    def __len__(self) -> int:
+        return len(self.items)
+
+    @property
+    def capacity(self) -> int:
+        return self._capacity
+
+    @property
+    def is_full(self) -> bool:
+        return len(self.items) >= self._capacity
+
+    def offer(self, item: Any) -> bool:
+        """Try to enqueue ``item`` without blocking.
+
+        Returns ``True`` if accepted.  On overflow the item is dropped,
+        the drop callback (if any) runs, and ``False`` is returned.
+        """
+        self.offered += 1
+        if self._get_queue:
+            # A consumer is already waiting: hand the item over directly.
+            self.accepted += 1
+            get = self._get_queue.popleft()
+            get.succeed(item)
+            return True
+        if len(self.items) >= self._capacity:
+            self.dropped += 1
+            if self._on_drop is not None:
+                self._on_drop(item)
+            return False
+        self.accepted += 1
+        self.items.append(item)
+        if len(self.items) > self.peak_length:
+            self.peak_length = len(self.items)
+        return True
+
+    def get(self) -> StoreGet:
+        """Take the oldest item; the event triggers with that item."""
+        event = StoreGet.__new__(StoreGet)
+        Event.__init__(event, self.env)
+        event._store = self
+        if self.items:
+            event.succeed(self.items.popleft())
+        else:
+            self._get_queue.append(event)
+        return event

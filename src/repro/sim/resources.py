@@ -1,0 +1,218 @@
+"""Shared resources with waiting queues.
+
+:class:`Resource` models a fixed number of identical slots (threads,
+connections, CPU cores) that processes acquire and release.  Requests
+that cannot be served immediately queue in FIFO order.
+
+Requests support the context-manager protocol so a typical usage is::
+
+    with resource.request() as req:
+        yield req            # wait until a slot is free
+        yield env.timeout(service_time)
+    # slot released automatically
+
+A pending request can also be *cancelled* — this is essential for
+"wait with timeout" patterns such as mod_jk's ``cache_acquire_timeout``::
+
+    req = pool.request()
+    outcome = yield req | env.timeout(0.3)
+    if req not in outcome:
+        req.cancel()         # give up on the slot
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Optional
+
+from repro.errors import SimulationError
+from repro.sim.events import Event
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.core import Environment
+
+
+class Request(Event):
+    """A pending or granted claim on one slot of a :class:`Resource`."""
+
+    def __init__(self, resource: "Resource", priority: float = 0.0) -> None:
+        super().__init__(resource.env)
+        self.resource = resource
+        self.priority = priority
+        #: Time the request was issued (used for queue-wait metrics).
+        self.issued_at = resource.env.now
+        resource._do_request(self)
+
+    def __enter__(self) -> "Request":
+        return self
+
+    def __exit__(self, exc_type, exc_val, exc_tb) -> None:
+        self.cancel_or_release()
+
+    def cancel(self) -> None:
+        """Withdraw a request that has not been granted yet."""
+        if self.triggered:
+            raise SimulationError(
+                "cannot cancel a granted request; release it instead")
+        self.resource._withdraw(self)
+
+    def cancel_or_release(self) -> None:
+        """Withdraw if still pending, release if already granted."""
+        if self.triggered:
+            self.resource.release(self)
+        else:
+            self.resource._withdraw(self)
+
+
+class Resource:
+    """``capacity`` interchangeable slots with a FIFO wait queue."""
+
+    def __init__(self, env: "Environment", capacity: int = 1) -> None:
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1, got {}".format(capacity))
+        self.env = env
+        self._capacity = int(capacity)
+        self._users: list[Request] = []
+        self._waiting: list[Request] = []
+
+    def __repr__(self) -> str:
+        return "<{} capacity={} in_use={} queued={}>".format(
+            type(self).__name__, self._capacity, self.count, len(self._waiting))
+
+    @property
+    def capacity(self) -> int:
+        """Total number of slots."""
+        return self._capacity
+
+    @property
+    def count(self) -> int:
+        """Number of slots currently held."""
+        return len(self._users)
+
+    @property
+    def available(self) -> int:
+        """Number of free slots."""
+        return self._capacity - len(self._users)
+
+    @property
+    def queue_length(self) -> int:
+        """Number of requests waiting for a slot."""
+        return len(self._waiting)
+
+    def request(self, priority: float = 0.0) -> Request:
+        """Claim one slot; the returned event triggers when granted."""
+        return Request(self, priority)
+
+    def release(self, request: Request) -> None:
+        """Return a granted slot to the pool and admit the next waiter."""
+        try:
+            self._users.remove(request)
+        except ValueError:
+            raise SimulationError(
+                "release of a request that does not hold a slot") from None
+        self._grant_next()
+
+    # -- internal ----------------------------------------------------------
+    def _do_request(self, request: Request) -> None:
+        if len(self._users) < self._capacity and not self._waiting:
+            self._users.append(request)
+            request.succeed(request)
+        else:
+            self._insert_waiting(request)
+
+    def _insert_waiting(self, request: Request) -> None:
+        self._waiting.append(request)
+
+    def _withdraw(self, request: Request) -> None:
+        try:
+            self._waiting.remove(request)
+        except ValueError:
+            raise SimulationError(
+                "cancel of a request that is not waiting") from None
+
+    def _grant_next(self) -> None:
+        while self._waiting and len(self._users) < self._capacity:
+            request = self._waiting.pop(0)
+            self._users.append(request)
+            request.succeed(request)
+
+
+class PriorityResource(Resource):
+    """A :class:`Resource` whose wait queue is ordered by priority.
+
+    Lower ``priority`` values are served first; ties break FIFO.
+    """
+
+    def _insert_waiting(self, request: Request) -> None:
+        index = len(self._waiting)
+        for i, waiting in enumerate(self._waiting):
+            if waiting.priority > request.priority:
+                index = i
+                break
+        self._waiting.insert(index, request)
+
+
+class Container:
+    """A homogeneous quantity (bytes, tokens) with put/get semantics.
+
+    Unlike :class:`Resource`, amounts are divisible: a ``get`` for 5 can
+    be satisfied by two earlier ``put`` calls of 3 and 2.  Used for the
+    dirty-page byte pool in :mod:`repro.osmodel.pagecache`.
+    """
+
+    def __init__(self, env: "Environment", capacity: float = float("inf"),
+                 init: float = 0.0) -> None:
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        if init < 0 or init > capacity:
+            raise ValueError("init must lie in [0, capacity]")
+        self.env = env
+        self._capacity = capacity
+        self._level = float(init)
+        self._getters: list[tuple[float, Event]] = []
+        self._putters: list[tuple[float, Event]] = []
+
+    @property
+    def capacity(self) -> float:
+        return self._capacity
+
+    @property
+    def level(self) -> float:
+        """The amount currently stored."""
+        return self._level
+
+    def put(self, amount: float) -> Event:
+        """Add ``amount``; triggers when there is room for all of it."""
+        if amount <= 0:
+            raise ValueError("amount must be positive")
+        event = Event(self.env)
+        self._putters.append((amount, event))
+        self._settle()
+        return event
+
+    def get(self, amount: float) -> Event:
+        """Remove ``amount``; triggers when that much is available."""
+        if amount <= 0:
+            raise ValueError("amount must be positive")
+        event = Event(self.env)
+        self._getters.append((amount, event))
+        self._settle()
+        return event
+
+    def _settle(self) -> None:
+        progressed = True
+        while progressed:
+            progressed = False
+            if self._putters:
+                amount, event = self._putters[0]
+                if self._level + amount <= self._capacity:
+                    self._level += amount
+                    self._putters.pop(0)
+                    event.succeed(amount)
+                    progressed = True
+            if self._getters:
+                amount, event = self._getters[0]
+                if amount <= self._level:
+                    self._level -= amount
+                    self._getters.pop(0)
+                    event.succeed(amount)
+                    progressed = True

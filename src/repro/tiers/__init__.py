@@ -1,0 +1,26 @@
+"""Tier server models: Apache (web), Tomcat (app), MySQL (database)."""
+
+from repro.tiers.apache import (
+    DEFAULT_ACCESS_LOG_BYTES,
+    DEFAULT_BACKLOG,
+    DEFAULT_MAX_CLIENTS,
+    ApacheServer,
+    Dispatcher,
+)
+from repro.tiers.base import TierServer
+from repro.tiers.mysql import DEFAULT_MAX_CONNECTIONS, MySqlServer
+from repro.tiers.tomcat import DEFAULT_MAX_THREADS, PRE_DB_FRACTION, TomcatServer
+
+__all__ = [
+    "TierServer",
+    "ApacheServer",
+    "TomcatServer",
+    "MySqlServer",
+    "Dispatcher",
+    "DEFAULT_MAX_CLIENTS",
+    "DEFAULT_BACKLOG",
+    "DEFAULT_ACCESS_LOG_BYTES",
+    "DEFAULT_MAX_THREADS",
+    "DEFAULT_MAX_CONNECTIONS",
+    "PRE_DB_FRACTION",
+]

@@ -1,0 +1,78 @@
+"""Shared behaviour for tier servers."""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.osmodel.host import Host
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.core import Environment
+
+
+class TierServer:
+    """Base class: a named server bound to a host machine.
+
+    Subclasses expose two queue views used by the paper's figures:
+
+    * ``queue_length`` — requests waiting to be picked up;
+    * ``in_server`` — waiting plus in-service, the "queued requests in
+      the tier" quantity plotted in Figs. 2(b), 8, 10(a), 12.
+    """
+
+    def __init__(self, env: "Environment", name: str, host: Host) -> None:
+        self.env = env
+        self.name = name
+        self.host = host
+        #: Total requests fully processed by this server.
+        self.requests_completed = 0
+        #: Total request+response bytes moved by this server.
+        self.bytes_served = 0
+        #: Set by fault injection: a crashed server refuses everything.
+        self._crashed = False
+
+    @property
+    def crashed(self) -> bool:
+        """Whether the server process is down (fault injection)."""
+        return self._crashed
+
+    def crash(self) -> None:
+        """Fail-stop the server: it refuses all new work.
+
+        In-flight requests are allowed to drain (fail-stop after
+        drain); what matters to the load balancer study is that every
+        subsequent endpoint probe fails, exercising the Busy -> Error
+        escalation path of the 3-state machine.
+        """
+        self._crashed = True
+
+    def recover(self) -> None:
+        """Bring a crashed server back."""
+        self._crashed = False
+
+    @property
+    def responsive(self) -> bool:
+        """Whether a connection attempt would get a timely answer.
+
+        During a millibottleneck every core sits in iowait, so nothing
+        — not even a connection handshake or mod_jk CPing — gets a CPU
+        slice.  The kernel still *enqueues* packets (see
+        :class:`~repro.netmodel.sockets.ListenSocket`), which is
+        exactly why the load balancer mistakes a stalled server for an
+        Available one.
+        """
+        if self._crashed:
+            return False
+        return self.host.cpu.iowait.busy_slots < self.host.cpu.cores
+
+    @property
+    def queue_length(self) -> int:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    @property
+    def in_server(self) -> int:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    def __repr__(self) -> str:
+        return "<{} {} in_server={}>".format(
+            type(self).__name__, self.name, self.in_server)

@@ -1,0 +1,63 @@
+"""Database tier: a MySQL server with a bounded connection pool.
+
+In the paper's testbed the single MySQL node is deliberately
+well-provisioned (Table III: 48 connections, 10 MB query cache) and is
+never the bottleneck; it exists so that app-tier requests have a
+realistic downstream dependency.  Queries burn CPU on the database
+host; the connection pool bounds concurrency.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.osmodel.host import Host
+from repro.sim.resources import Resource
+from repro.tiers.base import TierServer
+from repro.workload.request import Request
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.core import Environment
+
+#: Table III: total database connections.
+DEFAULT_MAX_CONNECTIONS = 48
+
+
+class MySqlServer(TierServer):
+    """The database tier."""
+
+    def __init__(self, env: "Environment", name: str, host: Host,
+                 max_connections: int = DEFAULT_MAX_CONNECTIONS) -> None:
+        super().__init__(env, name, host)
+        if max_connections < 1:
+            raise ValueError("max_connections must be >= 1")
+        self.connections = Resource(env, capacity=max_connections)
+        self.queries_executed = 0
+
+    def query(self, request: Request):
+        """Process generator: run the request's queries on one connection.
+
+        The caller (an app-tier thread) holds one pooled connection for
+        all of the request's queries, mirroring a servlet that checks a
+        connection out of its pool for the whole request.
+        """
+        interaction = request.interaction
+        if interaction.db_queries == 0:
+            return
+        with self.connections.request() as connection:
+            yield connection
+            for _ in range(interaction.db_queries):
+                yield from self.host.execute(interaction.mysql_cpu)
+                self.queries_executed += 1
+        self.requests_completed += 1
+        self.bytes_served += interaction.traffic_bytes
+
+    @property
+    def queue_length(self) -> int:
+        """Requests waiting for a free connection."""
+        return self.connections.queue_length
+
+    @property
+    def in_server(self) -> int:
+        """Waiting plus executing requests."""
+        return self.connections.queue_length + self.connections.count

@@ -1,0 +1,93 @@
+"""Application tier: a Tomcat servlet container.
+
+Each Tomcat has ``max_threads`` worker threads consuming a job queue.
+A job carries a request and a reply event; processing burns app-tier
+CPU, runs the request's database queries, and — crucially — appends to
+the access/servlet/localhost logs.  Those buffered log writes are the
+dirty pages whose flush produces the millibottleneck (§III-B).
+
+The job queue itself is unbounded: the paper's drops happen at the web
+tier, not here.  What bounds inflow to a Tomcat is the connection
+(endpoint) pool on the Apache side plus the load balancer — which is
+the whole subject of the paper.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.osmodel.host import Host
+from repro.sim.events import Event
+from repro.sim.queues import Store
+from repro.tiers.base import TierServer
+from repro.tiers.mysql import MySqlServer
+from repro.workload.request import Request
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.core import Environment
+
+#: Table III: Tomcat maxThreads (full-scale value; experiments scale it).
+DEFAULT_MAX_THREADS = 210
+#: Fraction of app-tier CPU spent before the database call.
+PRE_DB_FRACTION = 0.6
+
+
+class TomcatServer(TierServer):
+    """One application server."""
+
+    def __init__(self, env: "Environment", name: str, host: Host,
+                 mysql: MySqlServer,
+                 max_threads: int = DEFAULT_MAX_THREADS) -> None:
+        super().__init__(env, name, host)
+        if max_threads < 1:
+            raise ValueError("max_threads must be >= 1")
+        self.mysql = mysql
+        self.max_threads = max_threads
+        self.jobs: Store = Store(env)
+        self._busy_threads = 0
+        self._threads = [env.process(self._worker())
+                         for _ in range(max_threads)]
+
+    # -- data path ---------------------------------------------------------
+    def submit(self, request: Request, reply: Event) -> None:
+        """Enqueue a request; ``reply`` triggers with the request when done.
+
+        Non-blocking: the kernel buffers the message even when every
+        worker thread is frozen by a millibottleneck.
+        """
+        self.jobs.put((request, reply))
+
+    def _worker(self):
+        while True:
+            request, reply = yield self.jobs.get()
+            self._busy_threads += 1
+            try:
+                interaction = request.interaction
+                yield from self.host.execute(
+                    interaction.tomcat_cpu * PRE_DB_FRACTION)
+                yield from self.mysql.query(request)
+                yield from self.host.execute(
+                    interaction.tomcat_cpu * (1.0 - PRE_DB_FRACTION))
+                # Access + servlet + localhost logs: buffered writes that
+                # dirty the page cache.
+                self.host.write_file(interaction.log_bytes)
+                self.requests_completed += 1
+                self.bytes_served += interaction.traffic_bytes
+                reply.succeed(request)
+            finally:
+                self._busy_threads -= 1
+
+    # -- observability -------------------------------------------------------
+    @property
+    def queue_length(self) -> int:
+        """Jobs waiting for a worker thread."""
+        return len(self.jobs)
+
+    @property
+    def busy_threads(self) -> int:
+        return self._busy_threads
+
+    @property
+    def in_server(self) -> int:
+        """Waiting plus in-service requests (the paper's queue plots)."""
+        return len(self.jobs) + self._busy_threads

@@ -1,0 +1,39 @@
+"""RUBBoS workload substrate.
+
+Reimplements the RUBBoS bulletin-board benchmark's client side: the 24
+web interactions, the browsing-only and read/write mixes as Markov
+chains, per-user sessions, and closed-loop emulated clients with
+exponential think times.
+"""
+
+from repro.workload.bursty import BurstProfile, OpenLoopGenerator
+from repro.workload.client import DEFAULT_THINK_TIME, Client
+from repro.workload.generator import ClientPopulation
+from repro.workload.interactions import INTERACTIONS, Interaction, get_interaction
+from repro.workload.mix import (
+    BROWSING_ONLY_WEIGHTS,
+    READ_WRITE_WEIGHTS,
+    WorkloadMix,
+    browsing_only_mix,
+    read_write_mix,
+)
+from repro.workload.request import Request
+from repro.workload.session import Session
+
+__all__ = [
+    "Interaction",
+    "INTERACTIONS",
+    "get_interaction",
+    "WorkloadMix",
+    "browsing_only_mix",
+    "read_write_mix",
+    "BROWSING_ONLY_WEIGHTS",
+    "READ_WRITE_WEIGHTS",
+    "Session",
+    "Request",
+    "Client",
+    "BurstProfile",
+    "OpenLoopGenerator",
+    "ClientPopulation",
+    "DEFAULT_THINK_TIME",
+]

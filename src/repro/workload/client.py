@@ -1,0 +1,96 @@
+"""Closed-loop emulated clients.
+
+Each client mimics one RUBBoS browser session: issue a request, wait
+for the full response, think for an exponentially distributed period,
+click the next page.  Closed-loop behaviour matters — it produces the
+back-pressure that bounds queue growth and, during millibottlenecks,
+the synchronized recovery bursts the paper observes.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from repro.metrics.recorder import CompletedRequest, ResponseTimeRecorder
+from repro.netmodel.tcp import GaveUp, TcpSender
+from repro.workload.request import Request
+from repro.workload.session import Session
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.netmodel.sockets import ListenSocket
+    from repro.sim.core import Environment
+    from repro.workload.mix import WorkloadMix
+
+#: Mean think time between a response and the next click, seconds.
+DEFAULT_THINK_TIME = 1.0
+
+
+class Client:
+    """One closed-loop emulated user bound to one web server."""
+
+    _next_request_id = 0
+
+    def __init__(self, env: "Environment", client_id: int,
+                 socket: "ListenSocket", mix: "WorkloadMix",
+                 recorder: ResponseTimeRecorder,
+                 rng: np.random.Generator,
+                 think_time: float = DEFAULT_THINK_TIME,
+                 sender: TcpSender | None = None,
+                 start_delay: float = 0.0) -> None:
+        if think_time <= 0:
+            raise ValueError("think_time must be positive")
+        self.env = env
+        self.client_id = client_id
+        self.socket = socket
+        self.recorder = recorder
+        self.think_time = think_time
+        self.session = Session(mix, rng)
+        self.sender = sender or TcpSender(env)
+        self._rng = rng
+        self.requests_completed = 0
+        self.requests_abandoned = 0
+        self.process = env.process(self._run(start_delay))
+
+    @classmethod
+    def _allocate_request_id(cls) -> int:
+        cls._next_request_id += 1
+        return cls._next_request_id
+
+    @classmethod
+    def reset_request_ids(cls) -> None:
+        """Restart the global request-id counter (for reproducible runs)."""
+        cls._next_request_id = 0
+
+    def _run(self, start_delay: float):
+        if start_delay > 0:
+            yield self.env.timeout(start_delay)
+        while True:
+            interaction = self.session.next_interaction()
+            request = Request(self.env, self._allocate_request_id(),
+                              interaction, self.client_id)
+            try:
+                request.retransmissions = yield from self.sender.send(
+                    self.socket, request)
+            except GaveUp:
+                # TCP gave up entirely; the user retries after thinking.
+                request.completion.defuse()
+                self.requests_abandoned += 1
+                yield self._think()
+                continue
+            yield request.completion
+            request.completed_at = self.env.now
+            self.requests_completed += 1
+            self.recorder.record(CompletedRequest(
+                request_id=request.request_id,
+                interaction=interaction.name,
+                started_at=request.created_at,
+                finished_at=request.completed_at,
+                retransmissions=request.retransmissions,
+                served_by=request.served_by,
+            ))
+            yield self._think()
+
+    def _think(self):
+        return self.env.timeout(self._rng.exponential(self.think_time))

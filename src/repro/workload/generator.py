@@ -1,0 +1,98 @@
+"""Client population driver.
+
+Spawns the closed-loop clients against the web tier, reproducing the
+paper's topology rule (Fig. 14): client nodes are statically assigned
+to specific web servers, so each web server sees its own independent
+client population of equal size.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Sequence
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.metrics.recorder import ResponseTimeRecorder
+from repro.netmodel.tcp import RetransmissionPolicy, TcpSender
+from repro.workload.client import DEFAULT_THINK_TIME, Client
+from repro.workload.mix import WorkloadMix
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.netmodel.sockets import ListenSocket
+    from repro.sim.core import Environment
+
+
+class ClientPopulation:
+    """All emulated clients of one experiment.
+
+    Parameters
+    ----------
+    env:
+        Simulation environment.
+    sockets:
+        Web-tier listen sockets; clients are split evenly across them.
+    total_clients:
+        Total closed-loop users.
+    mix:
+        Workload mix to draw sessions from.
+    rng:
+        Seeded random generator; the single source of randomness.
+    think_time:
+        Mean think time in seconds.
+    retransmission:
+        Client TCP retransmission policy.
+    ramp_up:
+        Client start times are spread uniformly over this many seconds
+        so the system does not see a synchronized thundering herd.
+    """
+
+    def __init__(self, env: "Environment",
+                 sockets: Sequence["ListenSocket"],
+                 total_clients: int,
+                 mix: WorkloadMix,
+                 rng: np.random.Generator,
+                 think_time: float = DEFAULT_THINK_TIME,
+                 retransmission: RetransmissionPolicy | None = None,
+                 ramp_up: float = 1.0) -> None:
+        if not sockets:
+            raise ConfigurationError("need at least one web-tier socket")
+        if total_clients < 1:
+            raise ConfigurationError("total_clients must be >= 1")
+        if ramp_up < 0:
+            raise ConfigurationError("ramp_up must be >= 0")
+        self.env = env
+        self.recorder = ResponseTimeRecorder("population")
+        self.sender = TcpSender(env, retransmission)
+        self.clients: list[Client] = []
+        Client.reset_request_ids()
+        for client_id in range(total_clients):
+            socket = sockets[client_id % len(sockets)]
+            start_delay = float(rng.uniform(0.0, ramp_up)) if ramp_up else 0.0
+            self.clients.append(Client(
+                env=env,
+                client_id=client_id,
+                socket=socket,
+                mix=mix,
+                recorder=self.recorder,
+                rng=rng,
+                think_time=think_time,
+                sender=self.sender,
+                start_delay=start_delay,
+            ))
+
+    def __len__(self) -> int:
+        return len(self.clients)
+
+    @property
+    def requests_completed(self) -> int:
+        return sum(client.requests_completed for client in self.clients)
+
+    @property
+    def requests_abandoned(self) -> int:
+        return sum(client.requests_abandoned for client in self.clients)
+
+    @property
+    def packets_dropped(self) -> int:
+        """Packets lost to accept-queue overflow (then retransmitted)."""
+        return self.sender.packets_dropped

@@ -1,0 +1,40 @@
+"""Markov session walks over the RUBBoS interaction graph."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.workload.interactions import INTERACTIONS, Interaction
+from repro.workload.mix import WorkloadMix
+
+
+class Session:
+    """One user's navigation state.
+
+    Successive calls to :meth:`next_interaction` walk the mix's Markov
+    chain; the first call samples from the initial distribution.
+    """
+
+    def __init__(self, mix: WorkloadMix, rng: np.random.Generator) -> None:
+        self.mix = mix
+        self._rng = rng
+        self._current: str | None = None
+        #: Count of interactions issued, by name.
+        self.history: dict[str, int] = {}
+
+    @property
+    def current(self) -> str | None:
+        """Name of the page the user is on (None before the first click)."""
+        return self._current
+
+    def next_interaction(self) -> Interaction:
+        """Advance the session and return the interaction to issue."""
+        if self._current is None:
+            self._current = self.mix.first_state(self._rng)
+        else:
+            self._current = self.mix.next_state(self._current, self._rng)
+        self.history[self._current] = self.history.get(self._current, 0) + 1
+        return INTERACTIONS[self._current]
+
+    def interactions_issued(self) -> int:
+        return sum(self.history.values())

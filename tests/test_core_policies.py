@@ -1,0 +1,241 @@
+"""Unit tests for the load balancing policies."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    CurrentLoadPolicy,
+    EwmaLatencyPolicy,
+    POLICIES,
+    RandomPolicy,
+    RoundRobinPolicy,
+    TotalRequestPolicy,
+    TotalTrafficPolicy,
+    TwoChoicesPolicy,
+    make_policy,
+)
+from repro.core.member import BalancerMember
+from repro.errors import ConfigurationError
+from repro.osmodel import Host
+from repro.sim import Environment
+from repro.tiers import MySqlServer, TomcatServer
+from repro.workload import Request, get_interaction
+
+
+@pytest.fixture
+def members():
+    env = Environment()
+    mysql = MySqlServer(env, "mysql1", Host(env, "mysql1"))
+    out = []
+    for i in range(4):
+        name = "tomcat{}".format(i + 1)
+        tomcat = TomcatServer(env, name, Host(env, name), mysql,
+                              max_threads=2)
+        out.append(BalancerMember(env, tomcat, index=i))
+    return out
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(11)
+
+
+def make_request(env_owner):
+    env = env_owner.env
+    return Request(env, 1, get_interaction("ViewStory"), 0)
+
+
+class TestRegistry:
+    def test_all_policies_registered(self):
+        assert set(POLICIES) == {
+            "total_request", "total_traffic", "current_load",
+            "round_robin", "random", "two_choices", "ewma_latency"}
+
+    def test_make_policy(self):
+        assert isinstance(make_policy("current_load"), CurrentLoadPolicy)
+        with pytest.raises(ConfigurationError):
+            make_policy("nope")
+
+    def test_cumulative_flags(self):
+        assert TotalRequestPolicy.cumulative
+        assert TotalTrafficPolicy.cumulative
+        assert not CurrentLoadPolicy.cumulative
+
+
+class TestTotalRequest(object):
+    def test_select_lowest_lb_value(self, members, rng):
+        policy = TotalRequestPolicy()
+        members[2].lb_value = -1
+        assert policy.select(members, rng) is members[2]
+
+    def test_ties_break_by_index(self, members, rng):
+        policy = TotalRequestPolicy()
+        assert policy.select(members, rng) is members[0]
+
+    def test_dispatch_increments(self, members):
+        policy = TotalRequestPolicy()
+        request = make_request(members[0])
+        policy.on_dispatch(members[0], request)
+        assert members[0].lb_value == 1.0
+        policy.on_complete(members[0], request)
+        assert members[0].lb_value == 1.0  # completion does nothing
+
+    def test_round_robin_emerges_in_steady_state(self, members, rng):
+        """With dispatch-time increments and ties broken by index, the
+        policy distributes perfectly evenly."""
+        policy = TotalRequestPolicy()
+        picks = []
+        for _ in range(20):
+            member = policy.select(members, rng)
+            policy.on_dispatch(member, make_request(member))
+            picks.append(member.index)
+        assert picks[:8] == [0, 1, 2, 3, 0, 1, 2, 3]
+        assert all(member.lb_value == 5 for member in members)
+
+
+class TestTotalTraffic:
+    def test_completion_adds_traffic_bytes(self, members):
+        policy = TotalTrafficPolicy()
+        request = make_request(members[0])
+        policy.on_dispatch(members[0], request)
+        assert members[0].lb_value == 0.0  # nothing at dispatch
+        policy.on_complete(members[0], request)
+        assert members[0].lb_value == request.traffic_bytes
+
+    def test_stalled_member_stays_lowest(self, members, rng):
+        """The §V-A instability: a member that completes nothing keeps
+        the lowest lb_value and is picked forever."""
+        policy = TotalTrafficPolicy()
+        for _ in range(10):
+            member = policy.select(members, rng)
+            request = make_request(member)
+            policy.on_dispatch(member, request)
+            if member.index != 0:  # member 0 is "stalled": no completion
+                policy.on_complete(member, request)
+        # After warm-up, member 0 has lb 0 and keeps winning.
+        assert policy.select(members, rng) is members[0]
+
+
+class TestCurrentLoad:
+    def test_pick_and_complete_balance(self, members):
+        policy = CurrentLoadPolicy()
+        request = make_request(members[0])
+        policy.on_pick(members[0], request)
+        assert members[0].lb_value == 1.0
+        policy.on_complete(members[0], request)
+        assert members[0].lb_value == 0.0
+
+    def test_never_negative(self, members):
+        policy = CurrentLoadPolicy()
+        request = make_request(members[0])
+        policy.on_complete(members[0], request)
+        policy.on_complete(members[0], request)
+        assert members[0].lb_value == 0.0
+
+    def test_abandoned_pick_is_refunded(self, members):
+        policy = CurrentLoadPolicy()
+        request = make_request(members[0])
+        policy.on_pick(members[0], request)
+        policy.on_pick_abandoned(members[0], request)
+        assert members[0].lb_value == 0.0
+
+    def test_stalled_member_rises_and_is_avoided(self, members, rng):
+        """The §V-B remedy: picks (even stuck ones) weigh the stalled
+        member down, so healthy members win."""
+        policy = CurrentLoadPolicy()
+        stalled = members[0]
+        # Two workers pick the stalled member and get stuck (no
+        # completion, no abandonment yet).
+        policy.on_pick(stalled, make_request(stalled))
+        policy.on_pick(stalled, make_request(stalled))
+        picks = [policy.select(members, rng) for _ in range(6)]
+        assert stalled not in picks
+
+    def test_property_random_ops_keep_lb_value_nonnegative(self, members):
+        rng = np.random.default_rng(0)
+        policy = CurrentLoadPolicy()
+        member = members[0]
+        for _ in range(500):
+            op = rng.integers(3)
+            request = make_request(member)
+            if op == 0:
+                policy.on_pick(member, request)
+            elif op == 1:
+                policy.on_complete(member, request)
+            else:
+                policy.on_pick_abandoned(member, request)
+            assert member.lb_value >= 0
+
+
+class TestRoundRobin:
+    def test_cycles_members(self, members, rng):
+        policy = RoundRobinPolicy()
+        picks = [policy.select(members, rng).index for _ in range(8)]
+        assert picks == [0, 1, 2, 3, 0, 1, 2, 3]
+
+    def test_skips_ineligible(self, members, rng):
+        policy = RoundRobinPolicy()
+        eligible = [members[0], members[2]]
+        picks = [policy.select(eligible, rng).index for _ in range(4)]
+        assert picks == [0, 2, 0, 2]
+
+
+class TestRandom:
+    def test_covers_all_members(self, members, rng):
+        policy = RandomPolicy()
+        picks = {policy.select(members, rng).index for _ in range(100)}
+        assert picks == {0, 1, 2, 3}
+
+
+class TestTwoChoices:
+    def test_prefers_less_loaded(self, members, rng):
+        policy = TwoChoicesPolicy()
+        members[0].inflight = 10
+        members[1].inflight = 10
+        members[2].inflight = 0
+        members[3].inflight = 10
+        picks = [policy.select(members, rng) for _ in range(50)]
+        # member 2 must win every comparison it appears in; roughly
+        # half the samples include it.
+        assert picks.count(members[2]) > 10
+        for pick in picks:
+            assert pick.inflight in (0, 10)
+
+    def test_single_member(self, members, rng):
+        policy = TwoChoicesPolicy()
+        assert policy.select(members[:1], rng) is members[0]
+
+
+class TestEwmaLatency:
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            EwmaLatencyPolicy(alpha=0)
+        with pytest.raises(ConfigurationError):
+            EwmaLatencyPolicy(alpha=1.5)
+
+    def test_tracks_and_prefers_fast_members(self, members, rng):
+        policy = EwmaLatencyPolicy(alpha=0.5)
+        slow, fast = members[0], members[1]
+        for member, latency in [(slow, 0.5), (fast, 0.01)]:
+            request = make_request(member)
+            request.dispatched_at = member.env.now
+            member.env._now = latency  # simulate elapsed time
+            policy.on_complete(member, request)
+            member.env._now = 0.0
+        assert slow.ewma_response_time > fast.ewma_response_time
+        assert policy.select([slow, fast], rng) is fast
+
+    def test_unknown_members_treated_as_fast(self, members, rng):
+        policy = EwmaLatencyPolicy()
+        members[3].ewma_response_time = 0.2
+        pick = policy.select(members, rng)
+        assert pick.index == 0  # no history sorts first
+
+    def test_ewma_decays_history(self, members):
+        policy = EwmaLatencyPolicy(alpha=0.5)
+        member = members[0]
+        member.ewma_response_time = 1.0
+        request = make_request(member)
+        request.dispatched_at = 0.0
+        policy.on_complete(member, request)  # observed 0.0
+        assert member.ewma_response_time == pytest.approx(0.5)

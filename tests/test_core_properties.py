@@ -1,0 +1,161 @@
+"""Property-based tests for the balancer core and network layer."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    CurrentLoadPolicy,
+    RandomPolicy,
+    RoundRobinPolicy,
+    TotalRequestPolicy,
+    TotalTrafficPolicy,
+    TwoChoicesPolicy,
+)
+from repro.core.member import BalancerMember
+from repro.metrics import CompletedRequest, ResponseTimeRecorder
+from repro.metrics.stats import ResponseTimeStats
+from repro.netmodel import RetransmissionPolicy
+from repro.osmodel import Host
+from repro.sim import Environment
+from repro.tiers import MySqlServer, TomcatServer
+from repro.workload import Request, get_interaction
+
+
+def build_members(count=4):
+    env = Environment()
+    mysql = MySqlServer(env, "mysql1", Host(env, "mysql1"))
+    members = []
+    for i in range(count):
+        name = "tomcat{}".format(i + 1)
+        tomcat = TomcatServer(env, name, Host(env, name), mysql,
+                              max_threads=2)
+        members.append(BalancerMember(env, tomcat, index=i,
+                                      trace_lb_values=False))
+    return env, members
+
+
+def fresh_request(env, i=0):
+    return Request(env, i, get_interaction("ViewStory"), 0)
+
+
+policy_factories = st.sampled_from([
+    TotalRequestPolicy, TotalTrafficPolicy, CurrentLoadPolicy,
+    RoundRobinPolicy, RandomPolicy, TwoChoicesPolicy,
+])
+
+
+@given(policy_factories,
+       st.lists(st.integers(min_value=0, max_value=3),
+                min_size=1, max_size=200),
+       st.integers(min_value=0, max_value=2 ** 31))
+@settings(max_examples=60)
+def test_every_policy_always_returns_an_eligible_member(
+        policy_factory, ops, seed):
+    """Whatever sequence of pick/dispatch/complete events occurs, the
+    policy's select() must return one of the offered members."""
+    env, members = build_members()
+    policy = policy_factory()
+    rng = np.random.default_rng(seed)
+    outstanding = []
+    for op in ops:
+        if op in (0, 1):  # pick and dispatch
+            member = policy.select(members, rng)
+            assert member in members
+            request = fresh_request(env)
+            request.dispatched_at = 0.0
+            policy.on_pick(member, request)
+            policy.on_dispatch(member, request)
+            member.inflight += 1
+            outstanding.append((member, request))
+        elif op == 2 and outstanding:  # complete oldest
+            member, request = outstanding.pop(0)
+            member.inflight -= 1
+            policy.on_complete(member, request)
+        elif op == 3 and outstanding:  # abandon newest
+            member, request = outstanding.pop()
+            member.inflight -= 1
+            policy.on_pick_abandoned(member, request)
+        assert all(member.lb_value >= 0 for member in members)
+        assert all(member.inflight >= 0 for member in members)
+
+
+@given(st.lists(st.integers(min_value=0, max_value=3),
+                min_size=4, max_size=400))
+@settings(max_examples=60)
+def test_current_load_lb_value_tracks_outstanding_picks(ops):
+    """current_load's lb_value equals picks minus completions (never
+    below zero) for any interleaving."""
+    env, members = build_members(1)
+    member = members[0]
+    policy = CurrentLoadPolicy()
+    pending = 0
+    for op in ops:
+        request = fresh_request(env)
+        if op in (0, 1):
+            policy.on_pick(member, request)
+            pending += 1
+        elif op == 2 and pending:
+            policy.on_complete(member, request)
+            pending -= 1
+        elif op == 3 and pending:
+            policy.on_pick_abandoned(member, request)
+            pending -= 1
+        assert member.lb_value == pending
+
+
+@given(st.floats(min_value=0.01, max_value=5.0),
+       st.floats(min_value=1.0, max_value=3.0),
+       st.integers(min_value=0, max_value=8))
+def test_retransmission_timers_are_monotone(initial_rto, backoff,
+                                            attempts):
+    """Total elapsed time to the n-th retransmit grows monotonically
+    and matches the geometric sum."""
+    policy = RetransmissionPolicy(initial_rto=initial_rto,
+                                  backoff=backoff, max_retries=10)
+    total = 0.0
+    previous = 0.0
+    for attempt in range(attempts):
+        rto = policy.rto_after(attempt)
+        assert rto >= previous * (1.0 if backoff == 1.0 else 0.999)
+        previous = rto
+        total += rto
+    expected = sum(initial_rto * backoff ** k for k in range(attempts))
+    assert total == pytest.approx(expected)
+
+
+@given(st.lists(st.floats(min_value=1e-6, max_value=100.0,
+                          allow_nan=False),
+                min_size=1, max_size=300))
+def test_response_time_stats_consistency(samples):
+    """Counts partition, percentiles order, mean within [min, max]."""
+    stats = ResponseTimeStats.from_samples(samples)
+    assert stats.count == len(samples)
+    mid_range = sum(1 for s in samples if 0.01 <= s <= 1.0)
+    assert stats.vlrt_count + stats.normal_count + mid_range == stats.count
+    # Float-summation rounding can put the mean a few ULPs outside the
+    # sample range for near-identical samples.
+    assert min(samples) * (1 - 1e-12) <= stats.mean
+    assert stats.mean <= max(samples) * (1 + 1e-12)
+    assert stats.median <= stats.p95 + 1e-12
+    assert stats.p95 <= stats.p99 + 1e-12
+    assert stats.p999 <= stats.max + 1e-12
+    assert stats.vlrt_fraction == pytest.approx(
+        stats.vlrt_count / stats.count)
+
+
+@given(st.lists(st.tuples(
+    st.floats(min_value=0, max_value=50, allow_nan=False),
+    st.floats(min_value=1e-4, max_value=5, allow_nan=False)),
+    min_size=1, max_size=100))
+@settings(max_examples=50)
+def test_recorder_windows_conserve_vlrt_counts(pairs):
+    """Summing VLRT windows always reproduces the total VLRT count."""
+    recorder = ResponseTimeRecorder()
+    for i, (start, duration) in enumerate(pairs):
+        recorder.record(CompletedRequest(i, "ViewStory", start,
+                                         start + duration))
+    series = recorder.vlrt_windows()
+    assert sum(series.values) == sum(
+        1 for _, duration in pairs if duration > 1.0)

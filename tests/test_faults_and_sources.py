@@ -1,0 +1,182 @@
+"""Tests for fault injection and alternative millibottleneck sources."""
+
+import numpy as np
+import pytest
+
+from repro.cluster import FaultInjector, ScaleProfile, build_system
+from repro.core import MemberState, StateConfig, get_bundle
+from repro.core.balancer import BalancerConfig
+from repro.errors import ConfigurationError
+from repro.osmodel import (
+    DvfsSource,
+    GarbageCollectionSource,
+    Host,
+    TransientStallInjector,
+)
+from repro.sim import Environment
+from repro.netmodel import RetransmissionPolicy
+from repro.workload import ClientPopulation, read_write_mix
+
+
+class TestTransientStallInjector:
+    def test_injects_and_records_ground_truth(self):
+        env = Environment()
+        host = Host(env, "h1", cores=2)
+        injector = TransientStallInjector(
+            host, interval=lambda: 1.0, duration=lambda: 0.1, label="x")
+        env.run(until=3.5)
+        assert injector.stalls_injected == 3
+        records = host.millibottlenecks
+        assert [round(r.started_at, 1) for r in records] == [1.0, 2.1, 3.2]
+        assert all(r.duration == pytest.approx(0.1) for r in records)
+
+    def test_stall_blocks_foreground(self):
+        env = Environment()
+        host = Host(env, "h1", cores=1)
+        TransientStallInjector(host, interval=lambda: 0.5,
+                               duration=lambda: 0.2)
+        finished = []
+
+        def work(env):
+            yield env.timeout(0.55)  # mid-stall
+            yield from host.execute(0.001)
+            finished.append(env.now)
+
+        env.process(work(env))
+        env.run(until=1.0)
+        assert finished[0] == pytest.approx(0.701, abs=1e-3)
+
+
+class TestGcAndDvfsSources:
+    def test_gc_pauses_have_plausible_durations(self):
+        env = Environment()
+        host = Host(env, "jvm", cores=4)
+        GarbageCollectionSource(host, np.random.default_rng(0),
+                                period=0.5, mean_pause=0.15)
+        env.run(until=20.0)
+        durations = [r.duration for r in host.millibottlenecks]
+        assert len(durations) > 10
+        assert 0.05 < float(np.mean(durations)) < 0.4
+        # Millibottleneck range: tens to hundreds of milliseconds.
+        assert all(0.01 < d < 1.5 for d in durations)
+
+    def test_dvfs_transitions_are_short_and_fixed(self):
+        env = Environment()
+        host = Host(env, "cpu", cores=4)
+        DvfsSource(host, np.random.default_rng(1), period=0.5,
+                   transition=0.05)
+        env.run(until=10.0)
+        assert len(host.millibottlenecks) > 5
+        assert all(r.duration == pytest.approx(0.05)
+                   for r in host.millibottlenecks)
+
+    def test_validation(self):
+        env = Environment()
+        host = Host(env, "h", cores=1)
+        rng = np.random.default_rng(0)
+        with pytest.raises(ConfigurationError):
+            GarbageCollectionSource(host, rng, period=0)
+        with pytest.raises(ConfigurationError):
+            DvfsSource(host, rng, transition=0)
+
+
+class TestFaultInjector:
+    def make_system(self, env, error_recovery=2.0):
+        profile = ScaleProfile.smoke()
+        system = build_system(
+            env, profile, bundle=get_bundle("current_load_modified"),
+            rng=np.random.default_rng(0),
+            tomcat_millibottlenecks=False,
+            balancer_config=BalancerConfig(
+                pool_size=profile.connection_pool_size,
+                trace_lb_values=False, trace_dispatches=True),
+            state_config=StateConfig(busy_recheck=0.05,
+                                     max_busy_retries=4,
+                                     error_recovery=error_recovery),
+        )
+        population = ClientPopulation(
+            env, [a.socket for a in system.apaches],
+            total_clients=profile.clients, mix=read_write_mix(),
+            rng=np.random.default_rng(0), think_time=profile.think_time,
+            retransmission=RetransmissionPolicy())
+        return system, population
+
+    def test_crash_escalates_to_error_and_routes_around(self):
+        env = Environment()
+        system, population = self.make_system(env)
+        injector = FaultInjector(env)
+        injector.crash_at(system.tomcats[0], at=3.0)
+        env.run(until=8.0)
+        # Every balancer eventually ejects the dead member...
+        for balancer in system.balancers:
+            assert balancer.members[0].state is MemberState.ERROR
+        # ...and the system keeps serving on the survivor.
+        for balancer in system.balancers:
+            counts = balancer.distribution_between(4.0, 8.0)
+            assert counts["tomcat1"] == 0
+            assert counts["tomcat2"] > 0
+        assert injector.records[0].server == "tomcat1"
+        assert injector.records[0].recovered_at is None
+
+    def test_recovery_restores_service(self):
+        env = Environment()
+        system, population = self.make_system(env, error_recovery=1.0)
+        injector = FaultInjector(env)
+        injector.crash_at(system.tomcats[0], at=2.0, duration=2.0)
+        env.run(until=10.0)
+        record = injector.records[0]
+        assert record.recovered_at == pytest.approx(4.0)
+        # After recovery plus the error window, traffic returns.
+        for balancer in system.balancers:
+            counts = balancer.distribution_between(6.0, 10.0)
+            assert counts["tomcat1"] > 0
+
+    def test_crash_differs_from_millibottleneck(self):
+        """The conservative remedy's rationale: both look identical at
+        first probe, but only the crash should reach Error."""
+        env = Environment()
+        profile = ScaleProfile.smoke()
+        system = build_system(
+            env, profile, bundle=get_bundle("current_load_modified"),
+            rng=np.random.default_rng(0),
+            tomcat_millibottlenecks=True,  # flushing on
+            state_config=StateConfig(busy_recheck=0.05,
+                                     max_busy_retries=4,
+                                     error_recovery=60.0),
+        )
+        population = ClientPopulation(
+            env, [a.socket for a in system.apaches],
+            total_clients=profile.clients, mix=read_write_mix(),
+            rng=np.random.default_rng(0), think_time=profile.think_time)
+        FaultInjector(env).crash_at(system.tomcats[1], at=3.0)
+        env.run(until=10.0)
+        assert len(system.millibottleneck_records()) > 0
+        for balancer in system.balancers:
+            # tomcat2 crashed: Error.  tomcat1 only millibottlenecked:
+            # never Error.
+            assert balancer.members[1].state is MemberState.ERROR
+            assert balancer.members[0].state is not MemberState.ERROR
+
+    def test_validation(self):
+        env = Environment(initial_time=5.0)
+        injector = FaultInjector(env)
+        host = Host(env, "h")
+        from repro.tiers import MySqlServer
+        server = MySqlServer(env, "m", host)
+        with pytest.raises(ConfigurationError):
+            injector.crash_at(server, at=1.0)
+        with pytest.raises(ConfigurationError):
+            injector.crash_at(server, at=6.0, duration=0)
+
+    def test_crash_recover_flags(self):
+        env = Environment()
+        host = Host(env, "h")
+        from repro.tiers import MySqlServer
+        server = MySqlServer(env, "m", host)
+        assert not server.crashed
+        assert server.responsive
+        server.crash()
+        assert server.crashed
+        assert not server.responsive
+        server.recover()
+        assert server.responsive

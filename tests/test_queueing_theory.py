@@ -1,0 +1,138 @@
+"""Validate the DES kernel against closed-form queueing theory.
+
+A simulator that will carry a paper's conclusions must first get the
+textbook systems right.  These tests build M/M/1 and M/M/c queues out
+of the same primitives the n-tier models use (Resource, exponential
+draws from a seeded Generator) and compare long-run measurements
+against the analytic formulas.
+"""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.metrics.windows import BusyTracker
+from repro.sim import Environment, Resource
+
+
+def run_mmc(arrival_rate, service_rate, servers, horizon, seed):
+    """Simulate an M/M/c queue; return measured stats."""
+    env = Environment()
+    rng = np.random.default_rng(seed)
+    station = Resource(env, capacity=servers)
+    busy = BusyTracker(servers)
+    in_system = {"count": 0}
+    area = {"value": 0.0, "last": 0.0}
+    waits = []
+    response_times = []
+
+    def update_area(now):
+        area["value"] += in_system["count"] * (now - area["last"])
+        area["last"] = now
+
+    def customer(env):
+        arrived = env.now
+        update_area(env.now)
+        in_system["count"] += 1
+        with station.request() as grant:
+            yield grant
+            waits.append(env.now - arrived)
+            busy.acquire(env.now)
+            yield env.timeout(rng.exponential(1.0 / service_rate))
+            busy.release(env.now)
+        update_area(env.now)
+        in_system["count"] -= 1
+        response_times.append(env.now - arrived)
+
+    def source(env):
+        while True:
+            yield env.timeout(rng.exponential(1.0 / arrival_rate))
+            env.process(customer(env))
+
+    env.process(source(env))
+    env.run(until=horizon)
+    update_area(env.now)
+    return {
+        "mean_in_system": area["value"] / horizon,
+        "mean_wait": float(np.mean(waits)),
+        "mean_response": float(np.mean(response_times)),
+        "utilization": busy.utilization(0.0, horizon),
+        "completed": len(response_times),
+    }
+
+
+def erlang_c(servers, offered):
+    """Probability of waiting in an M/M/c queue (Erlang C)."""
+    summation = sum(offered ** k / math.factorial(k)
+                    for k in range(servers))
+    top = (offered ** servers / math.factorial(servers)) * (
+        servers / (servers - offered))
+    return top / (summation + top)
+
+
+class TestMM1:
+    """M/M/1: L = rho/(1-rho), W = 1/(mu-lambda)."""
+
+    @pytest.mark.parametrize("rho", [0.3, 0.5, 0.7])
+    def test_mean_number_in_system(self, rho):
+        service_rate = 10.0
+        arrival_rate = rho * service_rate
+        measured = run_mmc(arrival_rate, service_rate, servers=1,
+                           horizon=4000.0, seed=int(rho * 100))
+        expected = rho / (1 - rho)
+        assert measured["mean_in_system"] == pytest.approx(expected,
+                                                           rel=0.10)
+
+    def test_mean_response_time(self):
+        measured = run_mmc(arrival_rate=5.0, service_rate=10.0,
+                           servers=1, horizon=4000.0, seed=1)
+        expected = 1.0 / (10.0 - 5.0)
+        assert measured["mean_response"] == pytest.approx(expected,
+                                                          rel=0.10)
+
+    def test_utilization_equals_rho(self):
+        measured = run_mmc(arrival_rate=7.0, service_rate=10.0,
+                           servers=1, horizon=4000.0, seed=2)
+        assert measured["utilization"] == pytest.approx(0.7, rel=0.05)
+
+
+class TestMMC:
+    """M/M/c: mean wait = ErlangC / (c*mu - lambda)."""
+
+    @pytest.mark.parametrize("servers,rho", [(2, 0.6), (4, 0.7)])
+    def test_mean_wait_matches_erlang_c(self, servers, rho):
+        service_rate = 5.0
+        arrival_rate = rho * servers * service_rate
+        measured = run_mmc(arrival_rate, service_rate, servers,
+                           horizon=3000.0, seed=servers)
+        offered = arrival_rate / service_rate
+        expected_wait = erlang_c(servers, offered) / (
+            servers * service_rate - arrival_rate)
+        assert measured["mean_wait"] == pytest.approx(expected_wait,
+                                                      rel=0.15)
+
+    def test_throughput_equals_arrival_rate(self):
+        measured = run_mmc(arrival_rate=12.0, service_rate=5.0,
+                           servers=4, horizon=2000.0, seed=9)
+        assert measured["completed"] / 2000.0 == pytest.approx(12.0,
+                                                               rel=0.05)
+
+    def test_utilization_splits_across_servers(self):
+        measured = run_mmc(arrival_rate=12.0, service_rate=5.0,
+                           servers=4, horizon=2000.0, seed=10)
+        assert measured["utilization"] == pytest.approx(12.0 / 20.0,
+                                                        rel=0.05)
+
+
+class TestLittleLaw:
+    """L = lambda * W must hold for any stable configuration."""
+
+    @pytest.mark.parametrize("servers,arrival_rate", [(1, 6.0), (3, 10.0)])
+    def test_little(self, servers, arrival_rate):
+        measured = run_mmc(arrival_rate, service_rate=5.0,
+                           servers=servers, horizon=3000.0,
+                           seed=servers * 7)
+        little = arrival_rate * measured["mean_response"]
+        assert measured["mean_in_system"] == pytest.approx(little,
+                                                           rel=0.08)

@@ -1,0 +1,97 @@
+"""Tests for the report builders (Table I rendering, shape checks)."""
+
+import pytest
+
+from repro.analysis import (
+    PAPER_TABLE1,
+    causal_chain_report,
+    improvement_factors,
+    shape_check,
+    table1,
+    table1_with_paper,
+)
+from repro.cluster import compare_policies
+from repro.cluster.config import ScaleProfile
+from repro.errors import AnalysisError
+from repro.metrics import TimeSeries
+
+
+@pytest.fixture(scope="module")
+def results():
+    """One tiny run per Table-I bundle (smoke-sized but complete)."""
+    keys = ["original_total_request", "original_total_traffic",
+            "current_load", "total_request_modified",
+            "total_traffic_modified", "current_load_modified"]
+    return compare_policies(keys, duration=6.0, seed=9)
+
+
+class TestTable1Rendering:
+    def test_paper_reference_values(self):
+        assert PAPER_TABLE1["original_total_request"][0] == 41.00
+        assert PAPER_TABLE1["current_load"] == (3.62, 0.21, 96.70)
+        assert len(PAPER_TABLE1) == 6
+
+    def test_table1_renders_all_rows(self, results):
+        text = table1(results)
+        assert "Original total_request" in text
+        assert "Current_load" in text
+        assert text.count("%") >= 12  # two percentage columns per row
+
+    def test_table1_empty_raises(self):
+        with pytest.raises(AnalysisError):
+            table1([])
+
+    def test_table1_with_paper_includes_both_columns(self, results):
+        text = table1_with_paper(results)
+        assert "41.00" in text    # paper's number
+        assert "5.33%" in text
+        assert "current_load" in text
+
+    def test_improvement_factors_baseline_is_one(self, results):
+        factors = improvement_factors(results)
+        assert factors["original_total_request"] == pytest.approx(1.0)
+        assert factors["current_load"] > 1.0
+
+    def test_improvement_factors_missing_baseline(self, results):
+        with pytest.raises(AnalysisError):
+            improvement_factors(results[2:3])
+
+    def test_shape_check_passes_on_real_runs(self, results):
+        checks = shape_check(results)
+        assert set(checks) == {
+            "remedies_improve_avg_rt", "remedies_cut_vlrt",
+            "traffic_not_better_than_request", "combined_adds_nothing"}
+        assert all(checks.values()), checks
+
+    def test_shape_check_requires_all_bundles(self, results):
+        with pytest.raises(AnalysisError):
+            shape_check(results[:2])
+
+
+class TestCausalChainReport:
+    def test_reports_all_four_links(self):
+        grid = [0.05 * i for i in range(40)]
+        dirty = TimeSeries("d", [(t, 100 - t) for t in grid])
+        flat = TimeSeries("f", [(t, (1 if 0.9 < t < 1.1 else 0))
+                                for t in grid])
+        report = causal_chain_report(dirty, flat, flat, flat, flat)
+        assert set(report) == {"dirty_drop~iowait", "iowait~cpu",
+                               "cpu~queue", "queue~vlrt"}
+        assert report["iowait~cpu"] == pytest.approx(1.0)
+
+
+class TestCliFull:
+    def test_cli_table1_quick(self, capsys):
+        from repro.cli import main
+        assert main(["table1", "--duration", "2", "--seed", "5"]) == 0
+        out = capsys.readouterr().out
+        assert "Original total_request" in out
+        assert "Avg RT ms (paper)" in out
+
+    def test_cli_export(self, tmp_path, capsys):
+        from repro.cli import main
+        out_dir = tmp_path / "dump"
+        assert main(["export", "run/current_load", "--out", str(out_dir),
+                     "--duration", "2", "--seed", "5"]) == 0
+        assert (out_dir / "summary.json").exists()
+        assert (out_dir / "dirty_tomcat1.csv").exists()

@@ -1,0 +1,204 @@
+"""Edge-case tests for the DES kernel that the models rely on."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim import (
+    AnyOf,
+    DropQueue,
+    Environment,
+    Event,
+    Interrupt,
+    Store,
+)
+
+
+class TestStoreGetCancel:
+    def test_cancel_pending_get_removes_waiter(self):
+        env = Environment()
+        store = Store(env)
+
+        def impatient(env):
+            get = store.get()
+            outcome = yield get | env.timeout(0.5)
+            assert get not in outcome
+            get.cancel()
+            return env.now
+
+        def late_producer(env):
+            yield env.timeout(1.0)
+            yield store.put("late")
+
+        p = env.process(impatient(env))
+        env.process(late_producer(env))
+        env.run()
+        assert p.value == 0.5
+        # The cancelled getter must not have consumed the item.
+        assert list(store.items) == ["late"]
+
+    def test_cancel_after_fulfilment_is_noop(self):
+        env = Environment()
+        store = Store(env)
+        store.put("item")
+
+        def consumer(env):
+            get = store.get()
+            value = yield get
+            get.cancel()  # already triggered: must not blow up
+            return value
+
+        p = env.process(consumer(env))
+        env.run()
+        assert p.value == "item"
+
+    def test_drop_queue_get_cancel(self):
+        env = Environment()
+        queue = DropQueue(env, capacity=4)
+
+        def impatient(env):
+            get = queue.get()
+            yield env.timeout(0.1)
+            get.cancel()
+
+        env.process(impatient(env))
+        env.run()
+        # After cancellation an offer goes to the queue, not the
+        # withdrawn waiter.
+        assert queue.offer("x")
+        assert len(queue) == 1
+
+
+class TestProcessInterruptRaces:
+    def test_double_interrupt_before_delivery(self):
+        env = Environment()
+        causes = []
+
+        def victim(env):
+            while True:
+                try:
+                    yield env.timeout(10)
+                    return
+                except Interrupt as interrupt:
+                    causes.append(interrupt.cause)
+
+        def attacker(env, victim_proc):
+            yield env.timeout(1)
+            victim_proc.interrupt("first")
+            victim_proc.interrupt("second")
+
+        v = env.process(victim(env))
+        env.process(attacker(env, v))
+        env.run(until=5)
+        assert causes == ["first", "second"]
+
+    def test_interrupt_racing_with_completion_is_dropped(self):
+        env = Environment()
+
+        def victim(env):
+            yield env.timeout(1.0)
+            return "done"
+
+        def attacker(env, victim_proc):
+            # Interrupt scheduled at the exact completion time: the
+            # victim finishes first (its timeout was scheduled
+            # earlier), so the interrupt must be silently dropped.
+            yield env.timeout(1.0)
+            if victim_proc.is_alive:
+                victim_proc.interrupt()
+
+        v = env.process(victim(env))
+        env.process(attacker(env, v))
+        env.run()
+        assert v.value == "done"
+
+
+class TestConditionEdgeCases:
+    def test_any_of_with_already_processed_event(self):
+        env = Environment()
+        done = env.event()
+        done.succeed("early")
+        env.run()  # processes `done`
+
+        def waiter(env):
+            result = yield AnyOf(env, [done, env.timeout(5)])
+            return (env.now, done in result)
+
+        p = env.process(waiter(env))
+        env.run()
+        assert p.value == (0.0, True)
+
+    def test_condition_with_failed_preprocessed_event(self):
+        env = Environment()
+        bad = env.event()
+        bad.fail(RuntimeError("early failure"))
+        bad.defuse()
+        env.run()
+
+        def waiter(env):
+            try:
+                yield bad & env.timeout(1)
+            except RuntimeError:
+                return "propagated"
+
+        p = env.process(waiter(env))
+        env.run()
+        assert p.value == "propagated"
+
+    def test_or_chain_returns_first_of_many(self):
+        env = Environment()
+
+        def waiter(env):
+            timeouts = [env.timeout(delay, value=delay)
+                        for delay in (3.0, 1.0, 2.0)]
+            result = yield timeouts[0] | timeouts[1] | timeouts[2]
+            return result.values()
+
+        p = env.process(waiter(env))
+        env.run(until=10)
+        assert p.value == [1.0]
+
+
+class TestEnvironmentEdgeCases:
+    def test_run_until_event_that_fails(self):
+        env = Environment()
+        gate = env.event()
+
+        def failer(env):
+            yield env.timeout(1)
+            gate.fail(ValueError("stop signal"))
+
+        env.process(failer(env))
+        with pytest.raises(ValueError, match="stop signal"):
+            env.run(until=gate)
+
+    def test_nested_process_chains(self):
+        env = Environment()
+
+        def leaf(env, depth):
+            yield env.timeout(0.1)
+            return depth
+
+        def node(env, depth):
+            if depth == 0:
+                value = yield env.process(leaf(env, depth))
+                return value
+            value = yield env.process(node(env, depth - 1))
+            return value + 1
+
+        p = env.process(node(env, 20))
+        env.run()
+        assert p.value == 20
+        assert env.now == pytest.approx(0.1)
+
+    def test_many_simultaneous_events_drain(self):
+        env = Environment()
+        fired = []
+
+        def proc(env, tag):
+            yield env.timeout(1.0)
+            fired.append(tag)
+
+        for tag in range(1000):
+            env.process(proc(env, tag))
+        env.run()
+        assert fired == list(range(1000))

@@ -1,0 +1,329 @@
+"""Unit tests for processes, interrupts, and condition events."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim import AllOf, AnyOf, Environment, Interrupt
+
+
+def test_process_requires_generator():
+    env = Environment()
+    with pytest.raises(TypeError):
+        env.process(lambda: None)
+
+
+def test_process_return_value():
+    env = Environment()
+
+    def proc(env):
+        yield env.timeout(1)
+        return "result"
+
+    p = env.process(proc(env))
+    env.run()
+    assert p.value == "result"
+    assert not p.is_alive
+
+
+def test_process_is_alive_while_running():
+    env = Environment()
+
+    def proc(env):
+        yield env.timeout(5)
+
+    p = env.process(proc(env))
+    assert p.is_alive
+    env.run(until=1)
+    assert p.is_alive
+    env.run()
+    assert not p.is_alive
+
+
+def test_process_waits_for_process():
+    env = Environment()
+
+    def child(env):
+        yield env.timeout(2)
+        return "child-value"
+
+    def parent(env):
+        value = yield env.process(child(env))
+        return (env.now, value)
+
+    p = env.process(parent(env))
+    env.run()
+    assert p.value == (2.0, "child-value")
+
+
+def test_yield_non_event_raises_inside_process():
+    env = Environment()
+
+    def proc(env):
+        try:
+            yield 42
+        except SimulationError:
+            return "caught"
+        return "not caught"
+
+    p = env.process(proc(env))
+    env.run()
+    assert p.value == "caught"
+
+
+def test_exception_in_process_propagates():
+    env = Environment()
+
+    def proc(env):
+        yield env.timeout(1)
+        raise ValueError("inside process")
+
+    env.process(proc(env))
+    with pytest.raises(ValueError, match="inside process"):
+        env.run()
+
+
+def test_waiting_parent_receives_child_exception():
+    env = Environment()
+
+    def child(env):
+        yield env.timeout(1)
+        raise KeyError("child failed")
+
+    def parent(env):
+        try:
+            yield env.process(child(env))
+        except KeyError:
+            return "handled"
+
+    p = env.process(parent(env))
+    env.run()
+    assert p.value == "handled"
+
+
+def test_interrupt_delivers_cause():
+    env = Environment()
+
+    def victim(env):
+        try:
+            yield env.timeout(10)
+        except Interrupt as interrupt:
+            return (env.now, interrupt.cause)
+
+    def attacker(env, victim_proc):
+        yield env.timeout(3)
+        victim_proc.interrupt("preempted")
+
+    v = env.process(victim(env))
+    env.process(attacker(env, v))
+    env.run()
+    assert v.value == (3.0, "preempted")
+
+
+def test_interrupt_cause_str():
+    assert "why" in str(Interrupt("why"))
+
+
+def test_interrupted_process_can_keep_waiting():
+    env = Environment()
+
+    def victim(env):
+        timeout = env.timeout(10)
+        try:
+            yield timeout
+        except Interrupt:
+            # Resume waiting for the original event.
+            yield timeout
+            return env.now
+
+    def attacker(env, victim_proc):
+        yield env.timeout(1)
+        victim_proc.interrupt()
+
+    v = env.process(victim(env))
+    env.process(attacker(env, v))
+    env.run()
+    assert v.value == 10.0
+
+
+def test_interrupt_finished_process_raises():
+    env = Environment()
+
+    def quick(env):
+        yield env.timeout(1)
+
+    p = env.process(quick(env))
+    env.run()
+    with pytest.raises(SimulationError):
+        p.interrupt()
+
+
+def test_self_interrupt_rejected():
+    env = Environment()
+
+    def selfish(env):
+        this = env.active_process
+        with pytest.raises(SimulationError):
+            this.interrupt()
+        yield env.timeout(0)
+
+    env.process(selfish(env))
+    env.run()
+
+
+def test_old_target_does_not_resume_after_interrupt():
+    env = Environment()
+    resumed = []
+
+    def victim(env):
+        try:
+            yield env.timeout(5)
+        except Interrupt:
+            pass
+        yield env.timeout(100)
+        resumed.append("late")
+
+    def attacker(env, victim_proc):
+        yield env.timeout(1)
+        victim_proc.interrupt()
+
+    v = env.process(victim(env))
+    env.process(attacker(env, v))
+    env.run(until=50)
+    # The original 5s timeout fired at t=5 but must not resume the victim,
+    # which by then waits on the 100s timeout.
+    assert resumed == []
+    assert v.is_alive
+
+
+def test_all_of_waits_for_every_event():
+    env = Environment()
+
+    def proc(env):
+        t1 = env.timeout(1, value="a")
+        t2 = env.timeout(3, value="b")
+        result = yield env.all_of([t1, t2])
+        return (env.now, result.values())
+
+    p = env.process(proc(env))
+    env.run()
+    assert p.value == (3.0, ["a", "b"])
+
+
+def test_any_of_returns_on_first():
+    env = Environment()
+
+    def proc(env):
+        t1 = env.timeout(1, value="fast")
+        t2 = env.timeout(3, value="slow")
+        result = yield env.any_of([t1, t2])
+        return (env.now, t1 in result, t2 in result)
+
+    p = env.process(proc(env))
+    env.run()
+    assert p.value == (1.0, True, False)
+
+
+def test_and_or_operators():
+    env = Environment()
+
+    def proc(env):
+        a = env.timeout(1)
+        b = env.timeout(2)
+        yield a & b
+        first = env.now
+        c = env.timeout(1)
+        d = env.timeout(5)
+        yield c | d
+        return (first, env.now)
+
+    p = env.process(proc(env))
+    env.run()
+    assert p.value == (2.0, 3.0)
+
+
+def test_empty_all_of_triggers_immediately():
+    env = Environment()
+
+    def proc(env):
+        yield env.all_of([])
+        return env.now
+
+    p = env.process(proc(env))
+    env.run()
+    assert p.value == 0.0
+
+
+def test_condition_value_mapping_api():
+    env = Environment()
+
+    def proc(env):
+        t1 = env.timeout(1, value="x")
+        t2 = env.timeout(1, value="y")
+        result = yield env.all_of([t1, t2])
+        assert result[t1] == "x"
+        assert result == {t1: "x", t2: "y"}
+        assert set(result.keys()) == {t1, t2}
+        assert list(result) == result.keys()
+        with pytest.raises(KeyError):
+            _ = result[env.event()]
+        return True
+
+    p = env.process(proc(env))
+    env.run()
+    assert p.value is True
+
+
+def test_nested_conditions_flatten_value():
+    env = Environment()
+
+    def proc(env):
+        a = env.timeout(1, value=1)
+        b = env.timeout(2, value=2)
+        c = env.timeout(3, value=3)
+        result = yield (a & b) & c
+        return sorted(result.values())
+
+    p = env.process(proc(env))
+    env.run()
+    assert p.value == [1, 2, 3]
+
+
+def test_condition_failure_propagates():
+    env = Environment()
+    gate = env.event()
+
+    def proc(env):
+        try:
+            yield gate & env.timeout(10)
+        except RuntimeError:
+            return "failed fast"
+
+    def failer(env):
+        yield env.timeout(1)
+        gate.fail(RuntimeError("broken"))
+
+    p = env.process(proc(env))
+    env.process(failer(env))
+    env.run()
+    assert p.value == "failed fast"
+
+
+def test_condition_rejects_foreign_environment():
+    env1, env2 = Environment(), Environment()
+    with pytest.raises(SimulationError):
+        AllOf(env1, [env1.event(), env2.event()])
+
+
+def test_active_process_visible_inside_process():
+    env = Environment()
+    captured = []
+
+    def proc(env):
+        captured.append(env.active_process)
+        yield env.timeout(0)
+
+    p = env.process(proc(env))
+    assert env.active_process is None
+    env.run()
+    assert captured == [p]
+    assert env.active_process is None

@@ -1,0 +1,135 @@
+"""Property-based tests for the DES kernel invariants."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim import DropQueue, Environment, Resource, Store
+
+delays = st.lists(
+    st.floats(min_value=0.0, max_value=100.0,
+              allow_nan=False, allow_infinity=False),
+    min_size=1, max_size=40)
+
+
+@given(delays)
+def test_clock_is_monotone_and_visits_every_delay(delay_list):
+    """Processes wake exactly at their scheduled times, in sorted order."""
+    env = Environment()
+    wakeups = []
+
+    def sleeper(env, delay):
+        yield env.timeout(delay)
+        wakeups.append(env.now)
+
+    for delay in delay_list:
+        env.process(sleeper(env, delay))
+    env.run()
+    assert wakeups == sorted(delay_list)
+    assert env.now == max(delay_list)
+
+
+@given(delays)
+def test_equal_timestamps_preserve_creation_order(delay_list):
+    """Ties at one timestamp are broken by scheduling order (stable)."""
+    env = Environment()
+    order = []
+
+    def sleeper(env, tag):
+        yield env.timeout(1.0)
+        order.append(tag)
+
+    for tag, _ in enumerate(delay_list):
+        env.process(sleeper(env, tag))
+    env.run()
+    assert order == list(range(len(delay_list)))
+
+
+@given(st.integers(min_value=1, max_value=8),
+       st.lists(st.floats(min_value=0.01, max_value=5.0, allow_nan=False),
+                min_size=1, max_size=30))
+@settings(max_examples=50)
+def test_resource_conservation(capacity, hold_times):
+    """At no instant do more than ``capacity`` processes hold the resource,
+    and every process is eventually served exactly once."""
+    env = Environment()
+    resource = Resource(env, capacity=capacity)
+    active = {"count": 0, "peak": 0}
+    served = []
+
+    def worker(env, tag, hold):
+        with resource.request() as req:
+            yield req
+            active["count"] += 1
+            active["peak"] = max(active["peak"], active["count"])
+            yield env.timeout(hold)
+            active["count"] -= 1
+        served.append(tag)
+
+    for tag, hold in enumerate(hold_times):
+        env.process(worker(env, tag, hold))
+    env.run()
+    assert active["peak"] <= capacity
+    assert sorted(served) == list(range(len(hold_times)))
+    assert resource.count == 0
+    assert resource.queue_length == 0
+
+
+@given(st.lists(st.integers(), min_size=0, max_size=50))
+def test_store_preserves_fifo_order(items):
+    """Everything put into a Store comes out once, in order."""
+    env = Environment()
+    store = Store(env)
+    received = []
+
+    def producer(env):
+        for item in items:
+            yield store.put(item)
+            yield env.timeout(0.1)
+
+    def consumer(env):
+        for _ in items:
+            received.append((yield store.get()))
+
+    env.process(producer(env))
+    env.process(consumer(env))
+    env.run()
+    assert received == items
+
+
+@given(st.integers(min_value=1, max_value=10),
+       st.lists(st.integers(), min_size=0, max_size=60))
+def test_drop_queue_loss_accounting(capacity, items):
+    """offered == accepted + dropped, and accepted items survive in order."""
+    env = Environment()
+    dropped_items = []
+    queue = DropQueue(env, capacity=capacity, on_drop=dropped_items.append)
+    accepted_items = [item for item in items if queue.offer(item)]
+    assert queue.offered == len(items)
+    assert queue.accepted == len(accepted_items)
+    assert queue.dropped == len(dropped_items)
+    assert queue.accepted + queue.dropped == queue.offered
+    # With no consumer, exactly the first `capacity` items are accepted.
+    assert accepted_items == items[:capacity]
+    assert dropped_items == items[capacity:]
+
+
+@given(st.lists(st.floats(min_value=0.001, max_value=10.0, allow_nan=False),
+                min_size=1, max_size=20))
+@settings(max_examples=50)
+def test_process_results_are_deterministic(delay_list):
+    """Two identical runs produce identical event traces."""
+
+    def run_once():
+        env = Environment()
+        trace = []
+
+        def sleeper(env, tag, delay):
+            yield env.timeout(delay)
+            trace.append((tag, env.now))
+
+        for tag, delay in enumerate(delay_list):
+            env.process(sleeper(env, tag, delay))
+        env.run()
+        return trace
+
+    assert run_once() == run_once()

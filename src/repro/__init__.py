@@ -52,6 +52,13 @@ from repro.errors import (
 )
 from repro.metrics.stats import ResponseTimeStats
 from repro.osmodel.profiles import MillibottleneckProfile
+from repro.parallel import (
+    ExperimentSummary,
+    Replication,
+    replicate,
+    run_experiments,
+    summarize,
+)
 from repro.workload.mix import browsing_only_mix, read_write_mix
 
 __all__ = [
@@ -65,6 +72,11 @@ __all__ = [
     "compare_policies",
     "NTierSystem",
     "build_system",
+    "ExperimentSummary",
+    "Replication",
+    "replicate",
+    "run_experiments",
+    "summarize",
     # the contribution
     "LoadBalancer",
     "DirectDispatcher",

@@ -1,4 +1,11 @@
-"""Report builders: Table I, paper-vs-measured comparisons, summaries."""
+"""Report builders: Table I, paper-vs-measured comparisons, summaries.
+
+Every builder duck-types its inputs on the shared reporting surface
+(``config``, ``stats()``, ``table1_row()``), so it accepts full
+:class:`~repro.cluster.runner.ExperimentResult` objects from serial
+runs and :class:`~repro.parallel.ExperimentSummary` objects from
+process-pool fan-outs interchangeably.
+"""
 
 from __future__ import annotations
 

@@ -4,7 +4,8 @@ Subcommands::
 
     repro-lb list                         # available scenarios
     repro-lb run table1/current_load      # run one scenario
-    repro-lb table1 [--duration 30]      # the full Table I comparison
+    repro-lb table1 [--workers 4]         # the full Table I comparison
+    repro-lb replicate table1/current_load --runs 8 --workers 4
 """
 
 from __future__ import annotations
@@ -40,10 +41,32 @@ def _cmd_run(args: argparse.Namespace) -> int:
 def _cmd_table1(args: argparse.Namespace) -> int:
     results = compare_policies(
         [bundle.key for bundle in TABLE1_BUNDLES],
-        duration=args.duration, seed=args.seed)
+        duration=args.duration, seed=args.seed, workers=args.workers)
     print(table1(results))
     print()
     print(table1_with_paper(results))
+    return 0
+
+
+def _cmd_replicate(args: argparse.Namespace) -> int:
+    from dataclasses import replace
+
+    from repro.parallel import replicate
+
+    config = Scenario.named(args.scenario)
+    if args.duration is not None:
+        config = replace(config, duration=args.duration)
+    seeds = range(args.base_seed, args.base_seed + args.runs)
+    rep = replicate(config, seeds=seeds, workers=args.workers)
+    for summary in rep.summaries:
+        print("seed {:>4d}  {}".format(summary.config.seed,
+                                       summary.summary()))
+    aggregate = rep.aggregate()
+    print("across {} seeds: avg RT {:.2f} +/- {:.2f} ms, "
+          "VLRT {:.2f} +/- {:.2f} %".format(
+              int(aggregate["runs"]),
+              aggregate["avg_rt_ms_mean"], aggregate["avg_rt_ms_std"],
+              aggregate["vlrt_pct_mean"], aggregate["vlrt_pct_std"]))
     return 0
 
 
@@ -85,7 +108,21 @@ def build_parser() -> argparse.ArgumentParser:
     t1 = sub.add_parser("table1", help="run the Table I comparison")
     t1.add_argument("--duration", type=float, default=20.0)
     t1.add_argument("--seed", type=int, default=42)
+    t1.add_argument("--workers", type=int, default=1,
+                    help="process-pool size; 1 runs serially (default)")
     t1.set_defaults(func=_cmd_table1)
+
+    rep = sub.add_parser(
+        "replicate", help="run one scenario across several seeds")
+    rep.add_argument("scenario", help="scenario key (see 'list')")
+    rep.add_argument("--runs", type=int, default=5,
+                     help="number of seeds (default 5)")
+    rep.add_argument("--base-seed", type=int, default=42,
+                     help="first seed; runs use base..base+runs-1")
+    rep.add_argument("--duration", type=float, default=None)
+    rep.add_argument("--workers", type=int, default=1,
+                     help="process-pool size; 1 runs serially (default)")
+    rep.set_defaults(func=_cmd_replicate)
 
     export = sub.add_parser(
         "export", help="run a scenario and dump its series as CSV/JSON")

@@ -229,17 +229,30 @@ def _dirty_probe(host):
 def compare_policies(bundle_keys, profile: Optional[ScaleProfile] = None,
                      duration: float = 30.0, seed: int = 42,
                      mix: Optional[WorkloadMix] = None,
-                     trace: bool = False) -> list[ExperimentResult]:
+                     trace: bool = False, workers: int = 1):
     """Run several Table-I bundles under identical conditions.
 
     Each run uses the same seed, profile, duration, and workload mix,
     so differences are attributable to the policy/mechanism alone.
+
+    With ``workers=1`` (the default) the bundles run sequentially in
+    this process and full :class:`ExperimentResult` objects come back.
+    With ``workers > 1`` (or ``None`` for one per CPU) the runs fan out
+    across a process pool via :mod:`repro.parallel` and picklable
+    :class:`~repro.parallel.ExperimentSummary` objects come back — the
+    reporting surface is identical either way, and so are the per-run
+    statistics: results are merged in ``bundle_keys`` order and each
+    run's numbers depend only on its config.
     """
     profile = profile or ScaleProfile()
-    results = []
-    for key in bundle_keys:
-        config = ExperimentConfig(
+    configs = [
+        ExperimentConfig(
             bundle_key=key, profile=profile, duration=duration, seed=seed,
             trace_lb_values=trace, trace_dispatches=trace)
-        results.append(ExperimentRunner(config, mix=mix).run())
-    return results
+        for key in bundle_keys
+    ]
+    if workers == 1:
+        return [ExperimentRunner(config, mix=mix).run()
+                for config in configs]
+    from repro.parallel import run_experiments
+    return run_experiments(configs, workers=workers, mix=mix)

@@ -45,8 +45,25 @@ def _apply_override(config: ExperimentConfig, path: str,
     raise ConfigurationError("unsupported override path: " + path)
 
 
+def _default_summary(result) -> dict:
+    """The default per-run sweep row: Table-I numbers plus drops.
+
+    Accepts a full :class:`ExperimentResult` or a picklable
+    :class:`~repro.parallel.ExperimentSummary` — it only touches the
+    shared reporting surface.  Module-level so a process pool can ship
+    it to workers.
+    """
+    stats = result.stats()
+    return {
+        "requests": stats.count,
+        "avg_rt_ms": round(stats.mean_ms, 2),
+        "vlrt_pct": round(100 * stats.vlrt_fraction, 3),
+        "drops": result.dropped_packets(),
+    }
+
+
 class Sweep:
-    """Cross product of parameter overrides, run sequentially."""
+    """Cross product of parameter overrides, run serially or fanned out."""
 
     def __init__(self, base: ExperimentConfig) -> None:
         self.base = base
@@ -83,26 +100,31 @@ class Sweep:
             yield overrides, config
 
     def run(self, summarize: Optional[
-            Callable[[ExperimentResult], dict]] = None) -> list[dict]:
+            Callable[[ExperimentResult], dict]] = None,
+            workers: int = 1) -> list[dict]:
         """Run every grid point; one summary dict per run.
 
         The default summary carries the overrides plus the Table-I
-        numbers and the drop count.
+        numbers and the drop count.  ``workers > 1`` (or ``None`` for
+        one per CPU) fans the grid out across a process pool; a custom
+        ``summarize`` then runs inside the workers and must be a
+        picklable (module-level) callable.  Rows always come back in
+        grid order and each row is identical to a serial run's — every
+        grid point is seeded solely by its own config.
         """
+        summarize = summarize or _default_summary
+        grid = list(self.configs())
+        if workers == 1:
+            summaries = [summarize(ExperimentRunner(config).run())
+                         for _, config in grid]
+        else:
+            from repro.parallel import run_experiments
+            summaries = run_experiments(
+                [config for _, config in grid],
+                workers=workers, postprocess=summarize)
         rows = []
-        for overrides, config in self.configs():
-            result = ExperimentRunner(config).run()
-            if summarize is not None:
-                row = dict(overrides)
-                row.update(summarize(result))
-            else:
-                stats = result.stats()
-                row = dict(overrides)
-                row.update({
-                    "requests": stats.count,
-                    "avg_rt_ms": round(stats.mean_ms, 2),
-                    "vlrt_pct": round(100 * stats.vlrt_fraction, 3),
-                    "drops": result.dropped_packets(),
-                })
+        for (overrides, _), summary in zip(grid, summaries):
+            row = dict(overrides)
+            row.update(summary)
             rows.append(row)
         return rows

@@ -1,0 +1,233 @@
+"""Parallel experiment fan-out.
+
+Independent experiment configurations (different seeds, policies, or
+profile ablations) share no state — each run owns its environment, its
+RNG, and its metrics — so they parallelise embarrassingly well across a
+:class:`~concurrent.futures.ProcessPoolExecutor`.
+
+Full :class:`~repro.cluster.runner.ExperimentResult` objects cannot
+cross a process boundary (they hold live simulation objects: generator
+coroutines, event heaps, open samplers).  Workers therefore reduce each
+result to a picklable :class:`ExperimentSummary` before returning it.
+The summary duck-types the reporting surface of ``ExperimentResult``
+(``config``, ``stats()``, ``table1_row()``, ``dropped_packets()``,
+``summary()``), so everything in :mod:`repro.analysis.report` accepts
+either.
+
+Determinism contract: each run is seeded solely by its config's
+``seed``, so the same config produces bit-identical statistics whether
+it runs serially, in a pool, or interleaved with other runs — results
+are merged back in submission order, keyed by index, never by
+completion order.
+
+Usage::
+
+    from repro.parallel import replicate, run_experiments
+
+    summaries = run_experiments(configs, workers=4)
+    rep = replicate(config, seeds=range(8), workers=4)
+    print(rep.aggregate()["avg_rt_ms_mean"])
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, replace
+from typing import Any, Callable, Iterable, Optional, Sequence
+
+from repro.cluster.runner import (
+    ExperimentConfig,
+    ExperimentResult,
+    ExperimentRunner,
+)
+from repro.errors import ConfigurationError
+from repro.metrics.stats import ResponseTimeStats
+from repro.metrics.timeseries import TimeSeries
+from repro.workload.mix import WorkloadMix
+
+__all__ = [
+    "ExperimentSummary",
+    "Replication",
+    "replicate",
+    "run_experiments",
+    "summarize",
+]
+
+
+@dataclass(frozen=True)
+class ExperimentSummary:
+    """Picklable reduction of an :class:`ExperimentResult`.
+
+    Carries the per-run numbers every report needs while remaining a
+    plain value object: config, response-time statistics, drop and
+    millibottleneck counts, and the sampled queue/dirty-page timelines.
+    """
+
+    config: ExperimentConfig
+    duration: float
+    response_stats: ResponseTimeStats
+    dropped: int
+    millibottlenecks: int
+    queue_series: dict[str, TimeSeries]
+    dirty_series: dict[str, TimeSeries]
+
+    # -- ExperimentResult reporting surface (duck-typed) -----------------
+    def stats(self) -> ResponseTimeStats:
+        """Table-I style summary statistics."""
+        return self.response_stats
+
+    def table1_row(self) -> dict[str, float]:
+        """One row of Table I for this run."""
+        row = {"policy": self.config.bundle().description}
+        row.update(self.response_stats.row())
+        return row
+
+    def dropped_packets(self) -> int:
+        """Client packets lost to web-tier accept-queue overflow."""
+        return self.dropped
+
+    def summary(self) -> str:
+        """A one-paragraph human-readable summary."""
+        stats = self.response_stats
+        return (
+            "{}: {} requests, avg RT {:.2f} ms, VLRT {:.2f}%, "
+            "normal {:.2f}%, drops {}, millibottlenecks {}".format(
+                self.config.bundle_key,
+                stats.count,
+                stats.mean_ms,
+                100 * stats.vlrt_fraction,
+                100 * stats.normal_fraction,
+                self.dropped,
+                self.millibottlenecks,
+            )
+        )
+
+
+def summarize(result: ExperimentResult) -> ExperimentSummary:
+    """Reduce a full result to its picklable summary."""
+    return ExperimentSummary(
+        config=result.config,
+        duration=result.duration,
+        response_stats=result.stats(),
+        dropped=result.dropped_packets(),
+        millibottlenecks=len(result.system.millibottleneck_records()),
+        queue_series=result.queue_series,
+        dirty_series=result.dirty_series,
+    )
+
+
+def _run_one(task: tuple[int, ExperimentConfig, Optional[WorkloadMix],
+                         Callable[[ExperimentResult], Any]]
+             ) -> tuple[int, Any]:
+    """Pool worker: run one config and post-process in the child.
+
+    Module-level so it pickles under every multiprocessing start method
+    (spawn included).  Returns ``(index, value)`` so the parent can
+    merge results in submission order regardless of completion order.
+    """
+    index, config, mix, postprocess = task
+    result = ExperimentRunner(config, mix=mix).run()
+    return index, postprocess(result)
+
+
+def run_experiments(configs: Iterable[ExperimentConfig],
+                    workers: Optional[int] = 1,
+                    mix: Optional[WorkloadMix] = None,
+                    postprocess: Optional[
+                        Callable[[ExperimentResult], Any]] = None,
+                    ) -> list[Any]:
+    """Run independent configs, optionally across a process pool.
+
+    ``workers=1`` runs serially in this process (no pool, no pickling);
+    ``workers=None`` uses one worker per CPU; ``workers=N`` caps the
+    pool at N.  ``postprocess`` maps each full result to the value
+    returned (default :func:`summarize`); with a pool it runs inside
+    the worker, so it must be a picklable (module-level) callable.
+
+    Results come back in the order of ``configs`` — merging is keyed by
+    submission index, never completion order — and a given config's
+    values are identical whether it ran serially or in a pool.
+    """
+    configs = list(configs)
+    post = summarize if postprocess is None else postprocess
+    if workers is None:
+        workers = os.cpu_count() or 1
+    if workers < 1:
+        raise ConfigurationError(
+            "workers must be a positive int or None, got {!r}".format(
+                workers))
+    if workers == 1 or len(configs) <= 1:
+        return [post(ExperimentRunner(config, mix=mix).run())
+                for config in configs]
+
+    tasks = [(i, config, mix, post) for i, config in enumerate(configs)]
+    merged: list[Any] = [None] * len(tasks)
+    try:
+        from concurrent.futures import ProcessPoolExecutor
+        with ProcessPoolExecutor(
+                max_workers=min(workers, len(tasks))) as pool:
+            for index, value in pool.map(_run_one, tasks):
+                merged[index] = value
+    except (ImportError, OSError, PermissionError):
+        # No usable multiprocessing primitives (restricted sandboxes,
+        # missing /dev/shm): fall back to the serial path.
+        return [post(ExperimentRunner(config, mix=mix).run())
+                for config in configs]
+    return merged
+
+
+@dataclass(frozen=True)
+class Replication:
+    """Multi-seed replications of one configuration, keyed by seed."""
+
+    summaries: tuple[ExperimentSummary, ...]
+
+    def __post_init__(self) -> None:
+        seeds = [summary.config.seed for summary in self.summaries]
+        if len(set(seeds)) != len(seeds):
+            raise ConfigurationError("duplicate seeds in replication")
+
+    @property
+    def seeds(self) -> tuple[int, ...]:
+        return tuple(summary.config.seed for summary in self.summaries)
+
+    def by_seed(self) -> dict[int, ExperimentSummary]:
+        return {summary.config.seed: summary for summary in self.summaries}
+
+    def aggregate(self) -> dict[str, float]:
+        """Across-seed mean and population std of the headline numbers."""
+        import numpy as np
+
+        if not self.summaries:
+            raise ConfigurationError("no replications to aggregate")
+        rows = {
+            "avg_rt_ms": np.array([s.response_stats.mean_ms
+                                   for s in self.summaries]),
+            "vlrt_pct": np.array([100 * s.response_stats.vlrt_fraction
+                                  for s in self.summaries]),
+            "normal_pct": np.array([100 * s.response_stats.normal_fraction
+                                    for s in self.summaries]),
+            "drops": np.array([float(s.dropped) for s in self.summaries]),
+        }
+        out: dict[str, float] = {"runs": float(len(self.summaries))}
+        for name, values in rows.items():
+            out[name + "_mean"] = float(values.mean())
+            out[name + "_std"] = float(values.std())
+        return out
+
+
+def replicate(config: ExperimentConfig, seeds: Iterable[int],
+              workers: Optional[int] = 1,
+              mix: Optional[WorkloadMix] = None) -> Replication:
+    """Run ``config`` once per seed and collect the replications.
+
+    The paper's Table I numbers come from single runs; replications put
+    across-seed error bars on them.  Seeds must be unique — they key
+    the merged results.
+    """
+    seeds = list(seeds)
+    if len(set(seeds)) != len(seeds):
+        raise ConfigurationError("seeds must be unique")
+    configs = [replace(config, seed=seed) for seed in seeds]
+    summaries = run_experiments(configs, workers=workers, mix=mix)
+    return Replication(summaries=tuple(summaries))

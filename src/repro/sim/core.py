@@ -16,12 +16,27 @@ Typical usage::
     proc = env.process(hello(env))
     env.run(until=10.0)
     assert proc.value == "done"
+
+Performance notes
+-----------------
+The event loop is the hot path of every experiment, so :meth:`run`
+inlines the dispatch loop instead of calling :meth:`step` per event:
+the heap, ``heappop`` and the clock are bound to locals, and the
+per-event work is four attribute operations plus the callback calls.
+Heap entries are ``(time, key, event)`` 3-tuples where ``key`` packs
+``(priority, sequence)`` into one integer, so tie-breaking costs a
+single int comparison and the event itself is never compared.
+
+:attr:`Environment.trace`, when set to a callable, is invoked as
+``trace(time, event)`` for every event popped off the heap.  It costs
+nothing when unset: :meth:`run` selects a loop variant without the
+hook at entry.  The golden-trace determinism tests are built on it.
 """
 
 from __future__ import annotations
 
-import heapq
-from typing import Any, Iterable, Optional
+from heapq import heappop, heappush
+from typing import Any, Callable, Iterable, Optional
 
 from repro.errors import SimulationError, StopSimulation
 from repro.sim.events import (
@@ -36,6 +51,15 @@ from repro.sim.process import Process, ProcessGenerator
 
 __all__ = ["Environment", "NORMAL", "URGENT"]
 
+_INF = float("inf")
+
+#: Bits reserved for the event sequence number inside a heap key.  A
+#: simulation would need ~100 years of wall-clock at current kernel
+#: throughput to overflow 2**53 events, and Python ints widen anyway —
+#: ordering stays correct either way.
+_KEY_SHIFT = 53
+_NORMAL_KEY = NORMAL << _KEY_SHIFT
+
 
 class Environment:
     """Execution environment for a discrete-event simulation.
@@ -46,11 +70,16 @@ class Environment:
         Clock value at the start of the simulation (seconds).
     """
 
+    __slots__ = ("_now", "_queue", "_eid", "_active_process", "trace")
+
     def __init__(self, initial_time: float = 0.0) -> None:
         self._now = float(initial_time)
-        self._queue: list[tuple[float, int, int, Event]] = []
+        self._queue: list[tuple[float, int, Event]] = []
         self._eid = 0
         self._active_process: Optional[Process] = None
+        #: Optional probe called as ``trace(time, event)`` for every
+        #: event processed.  ``None`` (the default) is zero-cost.
+        self.trace: Optional[Callable[[float, Event], None]] = None
 
     # -- introspection ---------------------------------------------------
     @property
@@ -65,29 +94,67 @@ class Environment:
 
     def peek(self) -> float:
         """Time of the next scheduled event, or ``inf`` if none remain."""
-        return self._queue[0][0] if self._queue else float("inf")
+        return self._queue[0][0] if self._queue else _INF
 
     def __len__(self) -> int:
         return len(self._queue)
 
     # -- scheduling ------------------------------------------------------
     def schedule(self, event: Event, priority: int = NORMAL,
-                 delay: float = 0.0) -> None:
-        """Put a triggered event on the heap ``delay`` seconds from now."""
-        if delay < 0:
-            raise SimulationError("cannot schedule into the past")
-        self._eid += 1
-        heapq.heappush(self._queue, (self._now + delay, priority,
-                                     self._eid, event))
+                 delay: float = 0.0, _push=heappush, _inf=_INF) -> None:
+        """Put a triggered event on the heap ``delay`` seconds from now.
+
+        ``delay`` must be finite and non-negative: a ``NaN`` or ``inf``
+        delay would silently corrupt the heap invariant (``NaN``
+        compares false against everything, breaking sift ordering) and
+        is rejected with :class:`SimulationError`.
+        """
+        if not 0.0 <= delay < _inf:
+            raise SimulationError(
+                "delay must be finite and non-negative, got {!r}".format(
+                    delay))
+        self._eid = eid = self._eid + 1
+        _push(self._queue,
+              (self._now + delay, (priority << _KEY_SHIFT) | eid, event))
+
+    def _trigger_now(self, event: Event, _push=heappush,
+                     _key=_NORMAL_KEY) -> None:
+        """Internal: push an already-triggered event at the current time.
+
+        Fast path used by the resource/queue layers after they set the
+        event's ``_value`` directly — equivalent to
+        ``schedule(event)`` without the delay validation (there is no
+        delay) and without an extra call frame from ``succeed``.
+        """
+        self._eid = eid = self._eid + 1
+        _push(self._queue, (self._now, _key | eid, event))
 
     # -- event factories ---------------------------------------------------
     def event(self) -> Event:
         """Create a fresh, untriggered event."""
         return Event(self)
 
-    def timeout(self, delay: float, value: Any = None) -> Timeout:
-        """Create an event that triggers ``delay`` seconds from now."""
-        return Timeout(self, delay, value)
+    def timeout(self, delay: float, value: Any = None, _push=heappush,
+                _new=Timeout.__new__, _cls=Timeout, _inf=_INF,
+                _key=_NORMAL_KEY) -> Timeout:
+        """Create an event that triggers ``delay`` seconds from now.
+
+        This is the kernel's dominant allocation, so it builds the
+        :class:`Timeout` directly — already triggered, skipping the
+        ``Timeout.__init__``/``Event.__init__``/``schedule`` call chain.
+        """
+        if not 0.0 <= delay < _inf:
+            raise ValueError("invalid delay: {!r}".format(delay))
+        event = _new(_cls)
+        event.env = self
+        event.callbacks = []
+        event._value = value
+        event._ok = True
+        event._defused = False
+        event._delay = delay
+        self._eid = eid = self._eid + 1
+        _push(self._queue, (self._now + delay, _key | eid, event))
+        return event
 
     def process(self, generator: ProcessGenerator) -> Process:
         """Start a new process from ``generator`` and return it."""
@@ -105,19 +172,22 @@ class Environment:
     def step(self) -> None:
         """Process the single next event.
 
+        :meth:`run` does not call this — it inlines the same logic —
+        but it remains the single-step API for tests and debuggers.
+
         Raises
         ------
         SimulationError
             If the event heap is empty.
         """
         try:
-            when, _, _, event = heapq.heappop(self._queue)
+            when, _, event = heappop(self._queue)
         except IndexError:
             raise SimulationError("no scheduled events") from None
 
-        if when < self._now:  # pragma: no cover - heap guarantees order
-            raise SimulationError("time ran backwards")
         self._now = when
+        if self.trace is not None:
+            self.trace(when, event)
 
         callbacks = event.callbacks
         event.callbacks = None
@@ -126,8 +196,7 @@ class Environment:
 
         if not event._ok and not event._defused:
             # A failure that nobody handled: surface it loudly.
-            exc = event._value
-            raise exc
+            raise event._value
 
     def run(self, until: Any = None) -> Any:
         """Run the simulation.
@@ -161,9 +230,38 @@ class Environment:
             self.schedule(stop_event, priority=URGENT,
                           delay=deadline - self._now)
 
+        # The dispatch loop.  Everything the per-event path touches is
+        # a local; the traced variant is split out so the common case
+        # pays nothing for the hook.
+        queue = self._queue
+        pop = heappop
+        trace = self.trace
         try:
-            while self._queue:
-                self.step()
+            if trace is None:
+                while queue:
+                    when, _, event = pop(queue)
+                    self._now = when
+                    callbacks = event.callbacks
+                    event.callbacks = None
+                    if len(callbacks) == 1:
+                        # Dominant case: exactly one waiter.
+                        callbacks[0](event)
+                    else:
+                        for callback in callbacks:
+                            callback(event)
+                    if not event._ok and not event._defused:
+                        raise event._value
+            else:
+                while queue:
+                    when, _, event = pop(queue)
+                    self._now = when
+                    trace(when, event)
+                    callbacks = event.callbacks
+                    event.callbacks = None
+                    for callback in callbacks:
+                        callback(event)
+                    if not event._ok and not event._defused:
+                        raise event._value
         except StopSimulation as stop:
             return stop.value
 

@@ -13,6 +13,11 @@ An event moves through three stages:
 
 Only the transition from pending to triggered is under user control
 (via :meth:`Event.succeed` / :meth:`Event.fail`).
+
+All event classes use ``__slots__``: events are allocated on every
+request/timeout/resource interaction, so avoiding the per-instance
+``__dict__`` is one of the main levers behind the kernel's throughput
+(see ``benchmarks/test_kernel_throughput.py``).
 """
 
 from __future__ import annotations
@@ -39,6 +44,8 @@ class Event:
     env:
         The environment the event belongs to.
     """
+
+    __slots__ = ("env", "callbacks", "_value", "_ok", "_defused")
 
     def __init__(self, env: "Environment") -> None:
         self.env = env
@@ -67,7 +74,7 @@ class Event:
     @property
     def ok(self) -> bool:
         """``True`` if the event succeeded (valid only once triggered)."""
-        if not self.triggered:
+        if self._value is _PENDING:
             raise SimulationError("event value not yet available")
         return self._ok
 
@@ -88,7 +95,7 @@ class Event:
 
     def succeed(self, value: Any = None, priority: int = NORMAL) -> "Event":
         """Trigger the event successfully with ``value``."""
-        if self.triggered:
+        if self._value is not _PENDING:
             raise SimulationError("event already triggered: {!r}".format(self))
         self._ok = True
         self._value = value
@@ -104,7 +111,7 @@ class Event:
         """
         if not isinstance(exception, BaseException):
             raise TypeError("fail() requires an exception instance")
-        if self.triggered:
+        if self._value is not _PENDING:
             raise SimulationError("event already triggered: {!r}".format(self))
         self._ok = False
         self._value = exception
@@ -113,7 +120,7 @@ class Event:
 
     def trigger(self, event: "Event") -> None:
         """Copy the outcome of another (triggered) event onto this one."""
-        if self.triggered:
+        if self._value is not _PENDING:
             raise SimulationError("event already triggered: {!r}".format(self))
         self._ok = event._ok
         self._value = event._value
@@ -128,15 +135,25 @@ class Event:
 
 
 class Timeout(Event):
-    """An event that triggers after a fixed delay in simulated time."""
+    """An event that triggers after a fixed delay in simulated time.
+
+    This is the dominant event type of every workload, so
+    :meth:`Environment.timeout` constructs it through a fast path that
+    bypasses the ``__init__`` chain; the constructor below is kept for
+    direct instantiation and behaves identically.
+    """
+
+    __slots__ = ("_delay",)
 
     def __init__(self, env: "Environment", delay: float, value: Any = None) -> None:
-        if delay < 0:
-            raise ValueError("negative delay: {!r}".format(delay))
-        super().__init__(env)
-        self._delay = delay
-        self._ok = True
+        if not 0.0 <= delay < float("inf"):
+            raise ValueError("invalid delay: {!r}".format(delay))
+        self.env = env
+        self.callbacks = []
         self._value = value
+        self._ok = True
+        self._defused = False
+        self._delay = delay
         env.schedule(self, delay=delay)
 
     @property
@@ -150,16 +167,21 @@ class Timeout(Event):
 class Initialize(Event):
     """Internal event used to start a new :class:`~repro.sim.process.Process`."""
 
+    __slots__ = ()
+
     def __init__(self, env: "Environment", process: Any) -> None:
-        super().__init__(env)
+        self.env = env
         self.callbacks = [process._resume]
-        self._ok = True
         self._value = None
+        self._ok = True
+        self._defused = False
         env.schedule(self, priority=URGENT)
 
 
 class ConditionValue:
     """Ordered mapping of the events a condition has collected so far."""
+
+    __slots__ = ("events",)
 
     def __init__(self) -> None:
         self.events: list[Event] = []
@@ -202,6 +224,8 @@ class Condition(Event):
     :meth:`Environment.all_of` / :meth:`Environment.any_of`.
     """
 
+    __slots__ = ("_evaluate", "_events", "_count")
+
     def __init__(
         self,
         env: "Environment",
@@ -224,7 +248,7 @@ class Condition(Event):
             else:
                 event.callbacks.append(self._check)
 
-        if not self._events and not self.triggered:
+        if not self._events and self._value is _PENDING:
             self.succeed(ConditionValue())
 
     def _populate_value(self, value: ConditionValue) -> None:
@@ -237,7 +261,7 @@ class Condition(Event):
                 value.events.append(event)
 
     def _check(self, event: "Event") -> None:
-        if self.triggered:
+        if self._value is not _PENDING:
             return
         self._count += 1
         if not event._ok:
@@ -260,12 +284,16 @@ class Condition(Event):
 class AllOf(Condition):
     """Condition that waits for every child event."""
 
+    __slots__ = ()
+
     def __init__(self, env: "Environment", events: Iterable["Event"]) -> None:
         super().__init__(env, Condition.all_events, events)
 
 
 class AnyOf(Condition):
     """Condition that waits for the first child event."""
+
+    __slots__ = ()
 
     def __init__(self, env: "Environment", events: Iterable["Event"]) -> None:
         super().__init__(env, Condition.any_events, events)

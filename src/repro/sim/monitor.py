@@ -4,6 +4,12 @@ The paper's methodology rests on *fine-grained* monitoring: queue
 lengths, CPU utilisation and dirty-page sizes sampled at 50 ms windows.
 :class:`Sampler` runs a probe function on a fixed period and records
 ``(time, value)`` pairs; :class:`TraceLog` records discrete events.
+
+Both are cheap when disabled: a :class:`Sampler` created with
+``enabled=False`` never starts its sampling process (no timeout events
+enter the kernel heap at all), and a disabled :class:`TraceLog` reduces
+:meth:`TraceLog.log` to a single flag check so call sites do not need
+``is not None`` guards.
 """
 
 from __future__ import annotations
@@ -27,19 +33,28 @@ class Sampler:
         Sampling period in seconds (default 50 ms, the paper's window).
     name:
         Label used in reports.
+    enabled:
+        When ``False`` the sampler records nothing and — crucially for
+        kernel throughput — schedules nothing: the sampling process is
+        never started.
     """
 
+    __slots__ = ("env", "probe", "period", "name", "enabled", "times",
+                 "values", "_process")
+
     def __init__(self, env: "Environment", probe: Callable[[], Any],
-                 period: float = 0.050, name: str = "") -> None:
+                 period: float = 0.050, name: str = "",
+                 enabled: bool = True) -> None:
         if period <= 0:
             raise ValueError("period must be positive")
         self.env = env
         self.probe = probe
         self.period = period
         self.name = name
+        self.enabled = enabled
         self.times: list[float] = []
         self.values: list[Any] = []
-        self._process = env.process(self._run())
+        self._process = env.process(self._run()) if enabled else None
 
     def _run(self):
         from repro.sim.events import Interrupt
@@ -54,7 +69,7 @@ class Sampler:
 
     def stop(self) -> None:
         """Stop sampling (safe to call once)."""
-        if self._process.is_alive:
+        if self._process is not None and self._process.is_alive:
             self._process.interrupt("sampler stopped")
 
     def series(self) -> tuple[list[float], list[Any]]:
@@ -68,14 +83,19 @@ class Sampler:
 class TraceLog:
     """Append-only log of ``(time, payload)`` records."""
 
-    def __init__(self, env: "Environment", name: str = "") -> None:
+    __slots__ = ("env", "name", "enabled", "records")
+
+    def __init__(self, env: "Environment", name: str = "",
+                 enabled: bool = True) -> None:
         self.env = env
         self.name = name
+        self.enabled = enabled
         self.records: list[tuple[float, Any]] = []
 
     def log(self, payload: Any) -> None:
         """Record ``payload`` at the current simulated time."""
-        self.records.append((self.env.now, payload))
+        if self.enabled:
+            self.records.append((self.env.now, payload))
 
     def between(self, start: float, end: float) -> list[tuple[float, Any]]:
         """Records with ``start <= time < end``."""

@@ -8,14 +8,19 @@ events, the event's exception is thrown into the generator).
 A process is itself an event: it triggers when its generator returns,
 with the generator's return value.  This lets processes wait for each
 other simply by yielding them.
+
+``_resume`` is the single hottest function of the kernel — it runs once
+per event per waiting process — so it binds the generator's ``send`` /
+``throw`` and its own resume callback once at construction instead of
+rebuilding the bound methods on every event.
 """
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Any, Generator, Optional
+from typing import TYPE_CHECKING, Any, Callable, Generator, Optional
 
 from repro.errors import SimulationError
-from repro.sim.events import URGENT, Event, Initialize, Interrupt
+from repro.sim.events import _PENDING, URGENT, Event, Initialize, Interrupt
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.sim.core import Environment
@@ -26,16 +31,37 @@ ProcessGenerator = Generator[Event, Any, Any]
 class Process(Event):
     """Drives a generator, resuming it each time a yielded event fires."""
 
+    __slots__ = ("_generator", "_target", "_send", "_throw", "_resume_cb")
+
     def __init__(self, env: "Environment", generator: ProcessGenerator) -> None:
-        if not hasattr(generator, "send") or not hasattr(generator, "throw"):
+        try:
+            self._send: Callable[[Any], Event] = generator.send
+            self._throw: Callable[[BaseException], Event] = generator.throw
+        except AttributeError:
             raise TypeError(
-                "Process requires a generator, got {!r}".format(generator))
-        super().__init__(env)
+                "Process requires a generator, got {!r}".format(
+                    generator)) from None
+        # Event.__init__ inlined — one process is spawned per client
+        # request, so construction is on the experiment hot path.
+        self.env = env
+        self.callbacks = []
+        self._value = _PENDING
+        self._ok = True
+        self._defused = False
         self._generator = generator
         #: The event this process is currently waiting on (``None`` while
         #: the process is being resumed or after it finished).
         self._target: Optional[Event] = None
-        Initialize(env, self)
+        self._resume_cb: Callable[[Event], None] = self._resume
+        # Initialize(env, self) with the constructor chain inlined —
+        # experiments spawn one process per client request.
+        init = Initialize.__new__(Initialize)
+        init.env = env
+        init.callbacks = [self._resume_cb]
+        init._value = None
+        init._ok = True
+        init._defused = False
+        env.schedule(init, priority=URGENT)
 
     def __repr__(self) -> str:
         name = getattr(self._generator, "__name__", repr(self._generator))
@@ -84,31 +110,41 @@ class Process(Event):
 
     def _resume(self, event: Event) -> None:
         """Resume the generator with the outcome of ``event``."""
-        self.env._active_process = self
+        env = self.env
+        env._active_process = self
+        send = self._send
+        resume_cb = self._resume_cb
 
         while True:
             # Detach from the previous target: if we were interrupted
             # while waiting, the old target may fire later and must not
             # resume us again.
-            if self._target is not None and self._target.callbacks is not None:
-                try:
-                    self._target.callbacks.remove(self._resume)
-                except ValueError:
-                    pass
-            self._target = None
+            target = self._target
+            if target is not None:
+                callbacks = target.callbacks
+                if callbacks is not None:
+                    try:
+                        callbacks.remove(resume_cb)
+                    except ValueError:
+                        pass
+                self._target = None
 
             try:
                 if event._ok:
-                    next_event = self._generator.send(event._value)
+                    next_event = send(event._value)
                 else:
                     # The event failed; re-raise inside the generator.
-                    event.defuse()
-                    next_event = self._generator.throw(event._value)
+                    event._defused = True
+                    next_event = self._throw(event._value)
             except StopIteration as exc:
-                self._outcome_ok(exc.value)
+                self._ok = True
+                self._value = exc.value
+                env._trigger_now(self)
                 break
             except BaseException as exc:
-                self._outcome_fail(exc)
+                self._ok = False
+                self._value = exc
+                env._trigger_now(self)
                 break
 
             if not isinstance(next_event, Event):
@@ -122,16 +158,17 @@ class Process(Event):
                     self._outcome_fail(err)
                 break
 
-            if next_event.callbacks is not None:
+            callbacks = next_event.callbacks
+            if callbacks is not None:
                 # Pending or triggered-but-unprocessed: wait for it.
                 self._target = next_event
-                next_event.callbacks.append(self._resume)
+                callbacks.append(resume_cb)
                 break
 
             # Already processed: feed its outcome straight back in.
             event = next_event
 
-        self.env._active_process = None
+        env._active_process = None
 
     def _outcome_ok(self, value: Any) -> None:
         self._ok = True

@@ -16,7 +16,7 @@ from __future__ import annotations
 from collections import deque
 from typing import TYPE_CHECKING, Any, Callable, Optional
 
-from repro.sim.events import Event
+from repro.sim.events import _PENDING, Event
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.sim.core import Environment
@@ -25,8 +25,15 @@ if TYPE_CHECKING:  # pragma: no cover
 class StorePut(Event):
     """Pending ``put`` on a :class:`Store`."""
 
+    __slots__ = ("item",)
+
     def __init__(self, store: "Store", item: Any) -> None:
-        super().__init__(store.env)
+        # Event.__init__ inlined: puts happen once per message.
+        self.env = store.env
+        self.callbacks = []
+        self._value = _PENDING
+        self._ok = True
+        self._defused = False
         self.item = item
         store._put_queue.append(self)
         store._settle()
@@ -35,8 +42,16 @@ class StorePut(Event):
 class StoreGet(Event):
     """Pending ``get`` on a :class:`Store`."""
 
+    __slots__ = ("_store",)
+
     def __init__(self, store: "Store") -> None:
-        super().__init__(store.env)
+        # Event.__init__ inlined: gets happen once per message.
+        self.env = store.env
+        self.callbacks = []
+        self._value = _PENDING
+        self._ok = True
+        self._defused = False
+        self._store = store
         store._get_queue.append(self)
         store._settle()
 
@@ -45,8 +60,8 @@ class StoreGet(Event):
         if not self.triggered:
             # deque.remove is O(n) but get queues stay short in practice.
             try:
-                # Find owning store via callback-free bookkeeping: the
-                # store reference is kept on the event by __init__ below.
+                # The owning store (or drop queue) is recorded on the
+                # event at construction time.
                 self._store._get_queue.remove(self)
             except ValueError:
                 pass
@@ -63,6 +78,8 @@ class Store:
         Maximum items held; ``put`` events wait (do not drop) while the
         store is full.  Defaults to unbounded.
     """
+
+    __slots__ = ("env", "_capacity", "items", "_put_queue", "_get_queue")
 
     def __init__(self, env: "Environment",
                  capacity: float = float("inf")) -> None:
@@ -91,24 +108,33 @@ class Store:
 
     def get(self) -> StoreGet:
         """Take the oldest item; the event triggers with that item."""
-        event = StoreGet(self)
-        event._store = self
-        return event
+        return StoreGet(self)
 
     def _settle(self) -> None:
-        progressed = True
-        while progressed:
+        # Hot path: events leaving the wait queues are fresh by
+        # construction, so they are triggered by assigning ``_value``
+        # and pushed via the kernel's ``_trigger_now`` fast path
+        # instead of going through ``succeed``/``schedule``.
+        env = self.env
+        items = self.items
+        put_queue = self._put_queue
+        get_queue = self._get_queue
+        while True:
             progressed = False
-            if self._put_queue and len(self.items) < self._capacity:
-                put = self._put_queue.popleft()
-                self.items.append(put.item)
-                put.succeed(put.item)
+            if put_queue and len(items) < self._capacity:
+                put = put_queue.popleft()
+                item = put.item
+                items.append(item)
+                put._value = item
+                env._trigger_now(put)
                 progressed = True
-            if self._get_queue and self.items:
-                get = self._get_queue.popleft()
-                item = self.items.popleft()
-                get.succeed(item)
+            if get_queue and items:
+                get = get_queue.popleft()
+                get._value = items.popleft()
+                env._trigger_now(get)
                 progressed = True
+            if not progressed:
+                return
 
 
 class DropQueue:
@@ -118,6 +144,9 @@ class DropQueue:
     any *reserved* slots (see :meth:`reserve`), mirroring how a kernel
     accept queue counts not-yet-accepted connections.
     """
+
+    __slots__ = ("env", "_capacity", "items", "_get_queue", "_on_drop",
+                 "offered", "accepted", "dropped", "peak_length")
 
     def __init__(self, env: "Environment", capacity: int,
                  on_drop: Optional[Callable[[Any], None]] = None) -> None:
@@ -161,7 +190,8 @@ class DropQueue:
             # A consumer is already waiting: hand the item over directly.
             self.accepted += 1
             get = self._get_queue.popleft()
-            get.succeed(item)
+            get._value = item
+            self.env._trigger_now(get)
             return True
         if len(self.items) >= self._capacity:
             self.dropped += 1
@@ -177,10 +207,15 @@ class DropQueue:
     def get(self) -> StoreGet:
         """Take the oldest item; the event triggers with that item."""
         event = StoreGet.__new__(StoreGet)
-        Event.__init__(event, self.env)
+        event.env = self.env
+        event.callbacks = []
+        event._value = _PENDING
+        event._ok = True
+        event._defused = False
         event._store = self
         if self.items:
-            event.succeed(self.items.popleft())
+            event._value = self.items.popleft()
+            self.env._trigger_now(event)
         else:
             self._get_queue.append(event)
         return event

@@ -25,7 +25,7 @@ from __future__ import annotations
 from typing import TYPE_CHECKING, Any, Optional
 
 from repro.errors import SimulationError
-from repro.sim.events import Event
+from repro.sim.events import _PENDING, Event
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.sim.core import Environment
@@ -34,19 +34,32 @@ if TYPE_CHECKING:  # pragma: no cover
 class Request(Event):
     """A pending or granted claim on one slot of a :class:`Resource`."""
 
+    __slots__ = ("resource", "priority", "issued_at")
+
     def __init__(self, resource: "Resource", priority: float = 0.0) -> None:
-        super().__init__(resource.env)
+        # Event.__init__ inlined: a request is allocated per served
+        # request per tier, one of the kernel's dominant allocations.
+        env = resource.env
+        self.env = env
+        self.callbacks = []
+        self._value = _PENDING
+        self._ok = True
+        self._defused = False
         self.resource = resource
         self.priority = priority
         #: Time the request was issued (used for queue-wait metrics).
-        self.issued_at = resource.env.now
+        self.issued_at = env._now
         resource._do_request(self)
 
     def __enter__(self) -> "Request":
         return self
 
     def __exit__(self, exc_type, exc_val, exc_tb) -> None:
-        self.cancel_or_release()
+        # cancel_or_release() inlined — one __exit__ per served request.
+        if self._value is not _PENDING:
+            self.resource.release(self)
+        else:
+            self.resource._withdraw(self)
 
     def cancel(self) -> None:
         """Withdraw a request that has not been granted yet."""
@@ -65,6 +78,8 @@ class Request(Event):
 
 class Resource:
     """``capacity`` interchangeable slots with a FIFO wait queue."""
+
+    __slots__ = ("env", "_capacity", "_users", "_waiting")
 
     def __init__(self, env: "Environment", capacity: int = 1) -> None:
         if capacity < 1:
@@ -104,18 +119,30 @@ class Resource:
 
     def release(self, request: Request) -> None:
         """Return a granted slot to the pool and admit the next waiter."""
+        users = self._users
         try:
-            self._users.remove(request)
+            users.remove(request)
         except ValueError:
             raise SimulationError(
                 "release of a request that does not hold a slot") from None
-        self._grant_next()
+        # _grant_next() inlined — this runs once per served request.
+        waiting = self._waiting
+        if waiting:
+            env = self.env
+            capacity = self._capacity
+            while waiting and len(users) < capacity:
+                nxt = waiting.pop(0)
+                users.append(nxt)
+                nxt._value = nxt
+                env._trigger_now(nxt)
 
     # -- internal ----------------------------------------------------------
     def _do_request(self, request: Request) -> None:
         if len(self._users) < self._capacity and not self._waiting:
             self._users.append(request)
-            request.succeed(request)
+            # Fresh request: trigger directly, skipping succeed().
+            request._value = request
+            self.env._trigger_now(request)
         else:
             self._insert_waiting(request)
 
@@ -130,10 +157,12 @@ class Resource:
                 "cancel of a request that is not waiting") from None
 
     def _grant_next(self) -> None:
+        env = self.env
         while self._waiting and len(self._users) < self._capacity:
             request = self._waiting.pop(0)
             self._users.append(request)
-            request.succeed(request)
+            request._value = request
+            env._trigger_now(request)
 
 
 class PriorityResource(Resource):
@@ -141,6 +170,8 @@ class PriorityResource(Resource):
 
     Lower ``priority`` values are served first; ties break FIFO.
     """
+
+    __slots__ = ()
 
     def _insert_waiting(self, request: Request) -> None:
         index = len(self._waiting)
@@ -158,6 +189,8 @@ class Container:
     be satisfied by two earlier ``put`` calls of 3 and 2.  Used for the
     dirty-page byte pool in :mod:`repro.osmodel.pagecache`.
     """
+
+    __slots__ = ("env", "_capacity", "_level", "_getters", "_putters")
 
     def __init__(self, env: "Environment", capacity: float = float("inf"),
                  init: float = 0.0) -> None:
@@ -199,20 +232,24 @@ class Container:
         return event
 
     def _settle(self) -> None:
-        progressed = True
-        while progressed:
+        env = self.env
+        while True:
             progressed = False
             if self._putters:
                 amount, event = self._putters[0]
                 if self._level + amount <= self._capacity:
                     self._level += amount
                     self._putters.pop(0)
-                    event.succeed(amount)
+                    event._value = amount
+                    env._trigger_now(event)
                     progressed = True
             if self._getters:
                 amount, event = self._getters[0]
                 if amount <= self._level:
                     self._level -= amount
                     self._getters.pop(0)
-                    event.succeed(amount)
+                    event._value = amount
+                    env._trigger_now(event)
                     progressed = True
+            if not progressed:
+                return

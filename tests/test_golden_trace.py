@@ -1,0 +1,84 @@
+"""Golden-trace determinism: the kernel's full event schedule is stable.
+
+A small but varied scenario (processes, timeouts, a shared Resource, a
+Store ping-pong, a priority interrupt, seeded randomness) is run with
+the :attr:`Environment.trace` hook installed; the hash of the complete
+``(time, event type)`` dispatch sequence must match a committed golden
+value.  Any change to event ordering — tie-breaking, priority handling,
+scheduling order — shows up here, which is what protects the "kernel
+optimisations keep traces bit-identical" contract.
+"""
+
+import hashlib
+
+import numpy as np
+
+from repro.sim.core import Environment
+from repro.sim.queues import Store
+from repro.sim.resources import Resource
+
+GOLDEN_SHA256 = (
+    "6279124ad207d5b53637591e405557a2e2693c045878800eac9c563eef4c0ba8")
+GOLDEN_EVENTS = 741
+
+
+def build_scenario(env, rng):
+    pool = Resource(env, capacity=2)
+    store = Store(env, capacity=4)
+
+    def worker(env, index):
+        for _ in range(20):
+            with pool.request() as req:
+                yield req
+                yield env.timeout(float(rng.exponential(0.01)))
+            yield store.put(index)
+            yield env.timeout(float(rng.uniform(0.0, 0.005)))
+
+    def consumer(env):
+        while True:
+            yield store.get()
+            yield env.timeout(0.003)
+
+    def interrupter(env, victim):
+        yield env.timeout(0.5)
+        victim.interrupt("poke")
+
+    def patient(env):
+        try:
+            yield env.timeout(10.0)
+        except Exception:
+            yield env.timeout(0.001)
+
+    for index in range(6):
+        env.process(worker(env, index))
+    env.process(consumer(env))
+    env.process(interrupter(env, env.process(patient(env))))
+
+
+def trace_run(seed=13, until=5.0):
+    env = Environment()
+    records = []
+    env.trace = lambda when, event: records.append(
+        (when, type(event).__name__))
+    build_scenario(env, np.random.default_rng(seed))
+    env.run(until=until)
+    return records
+
+
+def trace_hash(records):
+    payload = "\n".join(
+        "{!r} {}".format(when, name) for when, name in records)
+    return hashlib.sha256(payload.encode()).hexdigest()
+
+
+class TestGoldenTrace:
+    def test_two_runs_produce_identical_traces(self):
+        assert trace_run() == trace_run()
+
+    def test_trace_matches_committed_golden(self):
+        records = trace_run()
+        assert len(records) == GOLDEN_EVENTS
+        assert trace_hash(records) == GOLDEN_SHA256
+
+    def test_different_seed_changes_the_trace(self):
+        assert trace_hash(trace_run(seed=14)) != GOLDEN_SHA256

@@ -1,0 +1,138 @@
+"""Parallel fan-out: pool/serial equivalence, ordering, picklability."""
+
+import pickle
+from dataclasses import replace
+
+import pytest
+
+from repro.analysis.report import improvement_factors, table1
+from repro.cluster.runner import (
+    ExperimentConfig,
+    ExperimentRunner,
+    compare_policies,
+)
+from repro.cluster.scenarios import policy_run
+from repro.cluster.sweeps import Sweep
+from repro.errors import ConfigurationError
+from repro.parallel import (
+    ExperimentSummary,
+    replicate,
+    run_experiments,
+    summarize,
+)
+
+
+def small_config(seed=11, bundle_key="original_total_request"):
+    config = policy_run(bundle_key, duration=2.0, seed=seed, trace=False)
+    return replace(config, profile=config.profile.scaled(0.5))
+
+
+class TestSummarize:
+    def test_summary_matches_full_result(self):
+        config = small_config()
+        result = ExperimentRunner(config).run()
+        summary = summarize(result)
+        assert summary.response_stats == result.stats()
+        assert summary.dropped == result.dropped_packets()
+        assert summary.table1_row() == result.table1_row()
+        assert summary.summary() == result.summary()
+        assert summary.config == config
+
+    def test_summary_is_picklable(self):
+        summary = summarize(ExperimentRunner(small_config()).run())
+        clone = pickle.loads(pickle.dumps(summary))
+        assert clone.response_stats == summary.response_stats
+        assert clone.queue_series.keys() == summary.queue_series.keys()
+
+    def test_full_result_is_not_picklable(self):
+        """The reason the pool ships summaries, not results."""
+        result = ExperimentRunner(small_config()).run()
+        with pytest.raises(Exception):
+            pickle.dumps(result)
+
+
+class TestRunExperiments:
+    def test_serial_and_parallel_stats_are_identical(self):
+        config = small_config(seed=21)
+        serial, = run_experiments([config], workers=1)
+        parallel = run_experiments([config, small_config(seed=22)],
+                                   workers=2)
+        assert serial.response_stats == parallel[0].response_stats
+        assert serial.dropped == parallel[0].dropped
+
+    def test_results_come_back_in_submission_order(self):
+        seeds = [31, 32, 33]
+        summaries = run_experiments(
+            [small_config(seed=seed) for seed in seeds], workers=2)
+        assert [s.config.seed for s in summaries] == seeds
+
+    def test_invalid_workers_rejected(self):
+        with pytest.raises(ConfigurationError):
+            run_experiments([small_config()], workers=0)
+
+    def test_custom_postprocess_runs_in_worker(self):
+        rows = run_experiments([small_config(seed=41),
+                                small_config(seed=42)],
+                               workers=2, postprocess=_request_count)
+        assert all(isinstance(count, int) and count > 0 for count in rows)
+
+
+def _request_count(result):
+    return result.stats().count
+
+
+class TestReplicate:
+    def test_keyed_by_seed_in_order(self):
+        rep = replicate(small_config(), seeds=[3, 1, 2], workers=2)
+        assert rep.seeds == (3, 1, 2)
+        assert set(rep.by_seed()) == {1, 2, 3}
+        for seed, summary in rep.by_seed().items():
+            assert summary.config.seed == seed
+
+    def test_replications_match_direct_runs(self):
+        rep = replicate(small_config(), seeds=[5, 6], workers=2)
+        direct = summarize(
+            ExperimentRunner(replace(small_config(), seed=6)).run())
+        assert rep.by_seed()[6].response_stats == direct.response_stats
+
+    def test_duplicate_seeds_rejected(self):
+        with pytest.raises(ConfigurationError):
+            replicate(small_config(), seeds=[1, 1])
+
+    def test_aggregate_shape(self):
+        aggregate = replicate(small_config(), seeds=[7, 8]).aggregate()
+        assert aggregate["runs"] == 2.0
+        assert aggregate["avg_rt_ms_mean"] > 0
+        assert "vlrt_pct_std" in aggregate
+
+
+class TestComparePoliciesWorkers:
+    KEYS = ["original_total_request", "current_load"]
+
+    def test_parallel_matches_serial(self):
+        profile = small_config().profile
+        serial = compare_policies(self.KEYS, profile=profile,
+                                  duration=2.0, seed=51)
+        parallel = compare_policies(self.KEYS, profile=profile,
+                                    duration=2.0, seed=51, workers=2)
+        for full, summary in zip(serial, parallel):
+            assert isinstance(summary, ExperimentSummary)
+            assert full.stats() == summary.stats()
+            assert full.config.bundle_key == summary.config.bundle_key
+
+    def test_summaries_feed_reports(self):
+        profile = small_config().profile
+        results = compare_policies(self.KEYS, profile=profile,
+                                   duration=2.0, seed=52, workers=2)
+        rendered = table1(results)
+        assert "Policy" in rendered
+        factors = improvement_factors(results)
+        assert set(factors) == set(self.KEYS)
+
+
+class TestSweepWorkers:
+    def test_parallel_rows_match_serial(self):
+        def sweep():
+            return Sweep(small_config()).over("seed", [61, 62, 63])
+
+        assert sweep().run(workers=2) == sweep().run(workers=1)

@@ -244,3 +244,36 @@ def test_event_repr_shows_state():
     assert "triggered" in repr(event)
     env.run()
     assert "processed" in repr(event)
+
+
+def test_nan_and_inf_schedule_rejected():
+    """NaN or infinite delays would silently corrupt heap ordering:
+    NaN compares false against everything, so heap invariants break and
+    events dispatch in arbitrary order."""
+    env = Environment()
+    for bad in (float("nan"), float("inf"), -float("inf")):
+        with pytest.raises(SimulationError):
+            env.schedule(env.event(), delay=bad)
+
+
+def test_nan_and_inf_timeout_rejected():
+    env = Environment()
+    for bad in (float("nan"), float("inf"), -float("inf")):
+        with pytest.raises(ValueError):
+            env.timeout(bad)
+
+
+def test_trace_hook_sees_every_dispatched_event():
+    env = Environment()
+    seen = []
+    env.trace = lambda when, event: seen.append((when, type(event).__name__))
+
+    def proc(env):
+        yield env.timeout(1.0)
+        yield env.timeout(2.0)
+
+    env.process(proc(env))
+    env.run()
+    assert [entry[1] for entry in seen] == [
+        "Initialize", "Timeout", "Timeout", "Process"]
+    assert [entry[0] for entry in seen] == [0.0, 1.0, 3.0, 3.0]

@@ -6,6 +6,7 @@ Subcommands::
     repro-lb run table1/current_load      # run one scenario
     repro-lb table1 [--workers 4]         # the full Table I comparison
     repro-lb replicate table1/current_load --runs 8 --workers 4
+    repro-lb statan src/repro             # simulation lint (see DESIGN.md)
 """
 
 from __future__ import annotations
@@ -89,6 +90,35 @@ def _cmd_export(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_statan(args: argparse.Namespace) -> int:
+    from repro.statan import (
+        StatanError,
+        Severity,
+        check_paths,
+        render_json,
+        render_text,
+    )
+
+    try:
+        result = check_paths(
+            args.paths,
+            select=args.select.split(",") if args.select else None,
+            ignore=args.ignore.split(",") if args.ignore else None,
+            min_severity=Severity.from_label(args.min_severity),
+        )
+    except StatanError as exc:
+        print("statan: error: {}".format(exc), file=sys.stderr)
+        return 2
+    except Exception as exc:  # internal failure must not masquerade
+        print("statan: internal error: {!r}".format(exc), file=sys.stderr)
+        return 2
+    if args.format == "json":
+        print(render_json(result))
+    else:
+        print(render_text(result))
+    return 1 if result.findings else 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro-lb",
@@ -132,6 +162,26 @@ def build_parser() -> argparse.ArgumentParser:
     export.add_argument("--duration", type=float, default=None)
     export.add_argument("--seed", type=int, default=None)
     export.set_defaults(func=_cmd_export)
+
+    statan = sub.add_parser(
+        "statan",
+        help="simulation lint: determinism, process discipline, "
+             "resource safety",
+        description="AST-based static analysis for simulation code. "
+                    "Exit codes: 0 clean, 1 findings, 2 internal error. "
+                    "Suppress one line with '# statan: ignore[rule-id]'.")
+    statan.add_argument("paths", nargs="*", default=["src/repro"],
+                        help="files or directories (default: src/repro)")
+    statan.add_argument("--format", choices=("text", "json"),
+                        default="text", help="report format")
+    statan.add_argument("--select", default=None, metavar="RULES",
+                        help="comma-separated rule ids to run exclusively")
+    statan.add_argument("--ignore", default=None, metavar="RULES",
+                        help="comma-separated rule ids to skip")
+    statan.add_argument("--min-severity", default="info",
+                        choices=("info", "warning", "error"),
+                        help="report findings at or above this severity")
+    statan.set_defaults(func=_cmd_statan)
     return parser
 
 

@@ -152,10 +152,17 @@ class ExperimentRunner:
         self.config = config
         self.mix = mix or read_write_mix()
 
-    def run(self) -> ExperimentResult:
-        """Execute the run and return its result."""
+    def run(self, env: Optional[Environment] = None) -> ExperimentResult:
+        """Execute the run and return its result.
+
+        ``env`` lets the caller supply a pre-built environment — the
+        golden-trace determinism tests use this to install the
+        :attr:`~repro.sim.core.Environment.trace` probe before any
+        event is scheduled.  It must be a fresh environment at t=0.
+        """
         config = self.config
-        env = Environment()
+        if env is None:
+            env = Environment()
         rng = np.random.default_rng(config.seed)
         profile = config.profile
 

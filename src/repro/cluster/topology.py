@@ -29,6 +29,13 @@ from repro.tiers.tomcat import TomcatServer
 if TYPE_CHECKING:  # pragma: no cover
     from repro.sim.core import Environment
 
+#: Seed of the generator :func:`build_system` falls back to when the
+#: caller does not inject one.  Experiments always inject the
+#: config-seeded generator (see ``ExperimentRunner.run``); the explicit
+#: fallback seed exists so ad-hoc construction in tests and notebooks is
+#: reproducible too, never entropy-seeded.
+DEFAULT_BUILD_SEED = 0
+
 
 @dataclass
 class NTierSystem:
@@ -89,8 +96,13 @@ def build_system(
     Either ``bundle`` or both factories must be given when
     ``use_balancer``; the no-balancer (§III-B) configuration requires a
     single Apache and a single Tomcat.
+
+    ``rng`` should be the experiment's seeded generator; when omitted,
+    a generator seeded with :data:`DEFAULT_BUILD_SEED` keeps even
+    ad-hoc builds deterministic.
     """
-    rng = rng or np.random.default_rng(0)
+    if rng is None:
+        rng = np.random.default_rng(DEFAULT_BUILD_SEED)
 
     # -- database tier ---------------------------------------------------
     mysql_host = Host(env, "mysql1", cores=profile.mysql_cores)

@@ -145,7 +145,7 @@ class LoadBalancer:
                 yield self.env.timeout(self.config.retry_pause)
                 continue
             yield from self._send(member, endpoint, request)
-            return request
+            return request  # statan: ignore[PROC003] -- process value
 
     def _send(self, member: BalancerMember, endpoint, request: Request):
         # A successful acquisition is proof of life.
@@ -237,4 +237,4 @@ class DirectDispatcher:
         self.backend.submit(request, reply)
         yield reply
         yield self.link.delay()
-        return request
+        return request  # statan: ignore[PROC003] -- process value

@@ -69,7 +69,7 @@ class OriginalGetEndpoint(GetEndpointMechanism):
             endpoint = member.try_acquire()
             if endpoint is not None:
                 self.time_spent_polling += member.env.now - started
-                return endpoint
+                return endpoint  # statan: ignore[PROC003] -- process value
             retry += 1
             if retry * self.jk_sleep >= self.cache_acquire_timeout:
                 break
@@ -79,7 +79,7 @@ class OriginalGetEndpoint(GetEndpointMechanism):
         yield member.env.timeout(self.jk_sleep)
         self.time_spent_polling += member.env.now - started
         self.timeouts += 1
-        return None
+        return None  # statan: ignore[PROC003] -- process value
 
 
 class ModifiedGetEndpoint(GetEndpointMechanism):
@@ -102,7 +102,9 @@ class ModifiedGetEndpoint(GetEndpointMechanism):
             self.immediate_failures += 1
             return None
         return endpoint
-        yield  # pragma: no cover - makes this function a generator
+        # Unreachable: its presence alone makes this a generator, so the
+        # mechanism interface stays uniform.
+        yield  # pragma: no cover - generator trick; statan: ignore[PROC001]
 
 
 #: Mechanism registry for scenario lookups.

@@ -88,7 +88,7 @@ class TcpSender:
         for attempt in range(self.policy.max_retries + 1):
             self.packets_sent += 1
             if socket.offer(item):
-                return attempt
+                return attempt  # statan: ignore[PROC003] -- process value
             self.packets_dropped += 1
             if attempt == self.policy.max_retries:
                 break

@@ -1,0 +1,37 @@
+"""statan — static analysis for deterministic simulation code.
+
+An AST-based lint framework specialised for this repository's
+discrete-event kernel: determinism (no ambient time or randomness),
+generator-protocol discipline for sim processes, resource-slot safety,
+float-time hygiene, ``__slots__`` enforcement on kernel hot paths, and
+delay-literal validation.
+
+Programmatic entry points::
+
+    from repro.statan import check_paths, render_text
+
+    result = check_paths(["src/repro"])
+    print(render_text(result))
+
+Command line: ``repro-lb statan [paths ...]`` (see ``--help``).
+"""
+
+from repro.statan.engine import (
+    Context,
+    Finding,
+    Result,
+    Rule,
+    Severity,
+    StatanError,
+    check_paths,
+    check_source,
+    render_json,
+    render_text,
+)
+from repro.statan.rules import RULES, default_rules
+
+__all__ = [
+    "Context", "Finding", "Result", "Rule", "Severity", "StatanError",
+    "check_paths", "check_source", "render_json", "render_text",
+    "RULES", "default_rules",
+]

@@ -1,0 +1,326 @@
+"""The statan rule engine.
+
+``statan`` is an AST-based linter specialised for this simulation
+codebase: the kernel's golden-trace hash (tests/test_golden_trace.py)
+*detects* determinism breakage after the fact, while statan catches the
+classic causes — wall-clock reads, global randomness, generator-protocol
+abuse, leaked resource slots — at review time, before they corrupt a
+20-minute experiment run.
+
+The engine parses each file once, hands the tree to every active rule
+(each rule contributes an :mod:`ast` visitor via
+:meth:`Rule.make_visitor`), collects :class:`Finding` records, and
+filters them through per-line suppression comments::
+
+    yield  # statan: ignore[process-protocol]
+    t = time.time()  # statan: ignore
+
+A bare ``# statan: ignore`` suppresses every rule on that line; the
+bracketed form takes a comma-separated list of rule ids
+(``determinism``) or finding codes (``DET001``).
+
+Reporters: :func:`render_text` for humans, :func:`render_json` for
+tooling (schema version 1, covered by ``tests/test_statan.py``).
+"""
+
+from __future__ import annotations
+
+import ast
+import enum
+import io
+import json
+import re
+import tokenize
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, Optional, Sequence
+
+__all__ = [
+    "Severity", "Finding", "Rule", "Context", "Result", "StatanError",
+    "check_source", "check_paths", "render_text", "render_json",
+]
+
+
+class StatanError(Exception):
+    """Internal statan failure (bad arguments, unreadable paths)."""
+
+
+class Severity(enum.IntEnum):
+    """Finding severity; comparisons follow the numeric order."""
+
+    INFO = 10
+    WARNING = 20
+    ERROR = 30
+
+    @property
+    def label(self) -> str:
+        return self.name.lower()
+
+    @classmethod
+    def from_label(cls, label: str) -> "Severity":
+        try:
+            return cls[label.upper()]
+        except KeyError:
+            raise StatanError(
+                "unknown severity {!r}; choose from {}".format(
+                    label, ", ".join(s.label for s in cls))) from None
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at one source location."""
+
+    path: str
+    line: int
+    col: int
+    code: str
+    rule: str
+    severity: Severity
+    message: str
+
+    def to_dict(self) -> dict:
+        return {
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "code": self.code,
+            "rule": self.rule,
+            "severity": self.severity.label,
+            "message": self.message,
+        }
+
+
+class Context:
+    """Per-file state shared by the engine and the rule visitors."""
+
+    def __init__(self, path: str, source: str, tree: ast.AST) -> None:
+        self.path = path
+        self.source = source
+        self.tree = tree
+        self.findings: list[Finding] = []
+
+    def report(self, node: ast.AST, code: str, rule: str,
+               severity: Severity, message: str) -> None:
+        self.findings.append(Finding(
+            path=self.path,
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0) + 1,
+            code=code,
+            rule=rule,
+            severity=severity,
+            message=message,
+        ))
+
+
+class Rule:
+    """Base class for statan rules.
+
+    Subclasses set :attr:`id` (the family id used by ``--select`` /
+    ``--ignore`` and suppression comments), :attr:`codes` (the finding
+    codes the rule can emit), and implement :meth:`make_visitor`.
+    """
+
+    id: str = "abstract"
+    description: str = ""
+    codes: tuple[str, ...] = ()
+
+    def make_visitor(self, ctx: Context) -> ast.NodeVisitor:
+        raise NotImplementedError  # pragma: no cover
+
+    def __repr__(self) -> str:
+        return "<Rule {}>".format(self.id)
+
+
+@dataclass
+class Result:
+    """Aggregate outcome of one statan run."""
+
+    findings: list[Finding] = field(default_factory=list)
+    files_checked: int = 0
+    suppressed: int = 0
+
+    def counts(self) -> dict[str, int]:
+        out = {severity.label: 0 for severity in Severity}
+        for finding in self.findings:
+            out[finding.severity.label] += 1
+        return out
+
+    def max_severity(self) -> Optional[Severity]:
+        if not self.findings:
+            return None
+        return max(finding.severity for finding in self.findings)
+
+
+# -- suppression comments -------------------------------------------------
+
+#: Matched anywhere inside a COMMENT token, so the marker composes with
+#: other trailing comments (``# pragma: no cover; statan: ignore[...]``).
+_SUPPRESS_RE = re.compile(
+    r"statan:\s*ignore(?:\[(?P<ids>[^\]]*)\])?")
+
+#: Sentinel meaning "every rule suppressed on this line".
+_ALL = "*"
+
+
+def _suppressions(source: str) -> dict[int, set[str]]:
+    """Map line number -> set of suppressed rule ids/codes (or ``_ALL``)."""
+    out: dict[int, set[str]] = {}
+    try:
+        tokens = tokenize.generate_tokens(io.StringIO(source).readline)
+        for token in tokens:
+            if token.type != tokenize.COMMENT:
+                continue
+            match = _SUPPRESS_RE.search(token.string)
+            if not match:
+                continue
+            ids = match.group("ids")
+            if ids is None:
+                names = {_ALL}
+            else:
+                names = {name.strip() for name in ids.split(",")
+                         if name.strip()}
+                if not names:
+                    names = {_ALL}
+            out.setdefault(token.start[0], set()).update(names)
+    except tokenize.TokenError:
+        # The parser already produced a syntax-error finding; comments
+        # past the failure point simply cannot suppress anything.
+        pass
+    return out
+
+
+def _is_suppressed(finding: Finding,
+                   suppressions: dict[int, set[str]]) -> bool:
+    names = suppressions.get(finding.line)
+    if not names:
+        return False
+    return (_ALL in names or finding.rule in names
+            or finding.code in names)
+
+
+# -- checking -------------------------------------------------------------
+
+def _select_rules(rules: Sequence[Rule],
+                  select: Optional[Iterable[str]] = None,
+                  ignore: Optional[Iterable[str]] = None) -> list[Rule]:
+    known = {rule.id for rule in rules}
+    for name in list(select or []) + list(ignore or []):
+        if name not in known:
+            raise StatanError(
+                "unknown rule id {!r}; available: {}".format(
+                    name, ", ".join(sorted(known))))
+    active = list(rules)
+    if select:
+        wanted = set(select)
+        active = [rule for rule in active if rule.id in wanted]
+    if ignore:
+        dropped = set(ignore)
+        active = [rule for rule in active if rule.id not in dropped]
+    return active
+
+
+def check_source(source: str, path: str = "<string>",
+                 rules: Optional[Sequence[Rule]] = None,
+                 apply_suppressions: bool = True) -> list[Finding]:
+    """Check one source string and return its (sorted) findings."""
+    if rules is None:
+        from repro.statan.rules import default_rules
+        rules = default_rules()
+    try:
+        tree = ast.parse(source, filename=path)
+    except SyntaxError as exc:
+        return [Finding(
+            path=path, line=exc.lineno or 1, col=(exc.offset or 0) or 1,
+            code="STX001", rule="syntax-error", severity=Severity.ERROR,
+            message="file does not parse: {}".format(exc.msg))]
+
+    ctx = Context(path, source, tree)
+    for rule in rules:
+        rule.make_visitor(ctx).visit(tree)
+
+    findings = sorted(ctx.findings,
+                      key=lambda f: (f.line, f.col, f.code))
+    if apply_suppressions:
+        marks = _suppressions(source)
+        findings = [finding for finding in findings
+                    if not _is_suppressed(finding, marks)]
+    return findings
+
+
+def _iter_python_files(paths: Iterable[str]) -> Iterable[Path]:
+    for raw in paths:
+        path = Path(raw)
+        if not path.exists():
+            raise StatanError("no such file or directory: {}".format(raw))
+        if path.is_dir():
+            for candidate in sorted(path.rglob("*.py")):
+                parts = candidate.parts
+                if any(part.startswith(".") or part == "__pycache__"
+                       for part in parts):
+                    continue
+                yield candidate
+        else:
+            yield path
+
+
+def check_paths(paths: Sequence[str],
+                rules: Optional[Sequence[Rule]] = None,
+                select: Optional[Iterable[str]] = None,
+                ignore: Optional[Iterable[str]] = None,
+                min_severity: Severity = Severity.INFO) -> Result:
+    """Check every ``*.py`` file under ``paths`` and aggregate findings."""
+    if rules is None:
+        from repro.statan.rules import default_rules
+        rules = default_rules()
+    rules = _select_rules(rules, select=select, ignore=ignore)
+
+    result = Result()
+    for path in _iter_python_files(paths):
+        try:
+            source = path.read_text(encoding="utf-8")
+        except OSError as exc:
+            raise StatanError("cannot read {}: {}".format(path, exc))
+        raw = check_source(source, str(path), rules,
+                           apply_suppressions=False)
+        marks = _suppressions(source)
+        for finding in raw:
+            if _is_suppressed(finding, marks):
+                result.suppressed += 1
+            elif finding.severity >= min_severity:
+                result.findings.append(finding)
+        result.files_checked += 1
+    result.findings.sort(key=lambda f: (f.path, f.line, f.col, f.code))
+    return result
+
+
+# -- reporters ------------------------------------------------------------
+
+def render_text(result: Result) -> str:
+    """Human-readable report, one line per finding plus a summary."""
+    lines = [
+        "{}:{}:{}: {} [{}] {}".format(
+            finding.path, finding.line, finding.col, finding.code,
+            finding.severity.label, finding.message)
+        for finding in result.findings
+    ]
+    counts = result.counts()
+    summary = ("checked {} file{}: {} error(s), {} warning(s), "
+               "{} info, {} suppressed".format(
+                   result.files_checked,
+                   "" if result.files_checked == 1 else "s",
+                   counts["error"], counts["warning"], counts["info"],
+                   result.suppressed))
+    lines.append(summary)
+    return "\n".join(lines)
+
+
+def render_json(result: Result) -> str:
+    """Stable machine-readable report (schema version 1)."""
+    payload = {
+        "version": 1,
+        "files_checked": result.files_checked,
+        "suppressed": result.suppressed,
+        "counts": result.counts(),
+        "findings": [finding.to_dict() for finding in result.findings],
+    }
+    return json.dumps(payload, indent=2, sort_keys=True)

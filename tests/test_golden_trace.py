@@ -7,12 +7,24 @@ the :attr:`Environment.trace` hook installed; the hash of the complete
 value.  Any change to event ordering — tie-breaking, priority handling,
 scheduling order — shows up here, which is what protects the "kernel
 optimisations keep traces bit-identical" contract.
+
+Two independent fixtures localise a breakage:
+
+* the *kernel* trace exercises only ``repro.sim`` primitives — if it
+  diverges, the kernel itself changed;
+* the *scenario* trace runs a full ``current_load`` experiment (seed
+  99, millibottlenecks included) through :class:`ExperimentRunner` — if
+  only this one diverges, the kernel is fine and the breakage lives in
+  the model/policy stack above it.
 """
 
 import hashlib
+from dataclasses import replace
 
 import numpy as np
 
+from repro.cluster.config import ScaleProfile
+from repro.cluster.runner import ExperimentConfig, ExperimentRunner
 from repro.sim.core import Environment
 from repro.sim.queues import Store
 from repro.sim.resources import Resource
@@ -20,6 +32,11 @@ from repro.sim.resources import Resource
 GOLDEN_SHA256 = (
     "6279124ad207d5b53637591e405557a2e2693c045878800eac9c563eef4c0ba8")
 GOLDEN_EVENTS = 741
+
+#: Full-stack fixture: current_load policy, seed 99, two flush stalls.
+SCENARIO_SHA256 = (
+    "717cee562c17efcc061d5fab3b3a2ee18acdee7373846a7d24288bd7a8d1293e")
+SCENARIO_EVENTS = 17113
 
 
 def build_scenario(env, rng):
@@ -71,6 +88,26 @@ def trace_hash(records):
     return hashlib.sha256(payload.encode()).hexdigest()
 
 
+def scenario_trace_run(seed=99, until=6.0):
+    """Trace a small full-stack current_load experiment.
+
+    The profile is tuned so the run includes what the paper cares
+    about: a ramp-up, steady dispatching under the current_load policy,
+    and two millibottleneck flush stalls inside the traced window.
+    """
+    env = Environment()
+    records = []
+    env.trace = lambda when, event: records.append(
+        (when, type(event).__name__))
+    profile = replace(ScaleProfile.smoke(), clients=120,
+                      flush_threshold_bytes=32e3)
+    config = ExperimentConfig(
+        bundle_key="current_load", profile=profile, duration=until,
+        seed=seed, trace_lb_values=False, trace_dispatches=False)
+    ExperimentRunner(config).run(env=env)
+    return records
+
+
 class TestGoldenTrace:
     def test_two_runs_produce_identical_traces(self):
         assert trace_run() == trace_run()
@@ -82,3 +119,18 @@ class TestGoldenTrace:
 
     def test_different_seed_changes_the_trace(self):
         assert trace_hash(trace_run(seed=14)) != GOLDEN_SHA256
+
+
+class TestScenarioGoldenTrace:
+    """Full-stack fixture: localises breakage above the kernel."""
+
+    def test_two_runs_produce_identical_traces(self):
+        assert scenario_trace_run() == scenario_trace_run()
+
+    def test_trace_matches_committed_golden(self):
+        records = scenario_trace_run()
+        assert len(records) == SCENARIO_EVENTS
+        assert trace_hash(records) == SCENARIO_SHA256
+
+    def test_different_seed_changes_the_trace(self):
+        assert trace_hash(scenario_trace_run(seed=100)) != SCENARIO_SHA256

@@ -1,0 +1,436 @@
+"""Tests for repro.statan: rule engine, ruleset, reporters, CLI.
+
+Every rule gets one positive fixture (the finding fires) and one
+negative fixture (idiomatic code stays clean); plus suppression-comment
+handling, the JSON reporter schema, and the CLI's 0/1/2 exit-code
+contract.
+"""
+
+import json
+import pathlib
+import textwrap
+
+import pytest
+
+from repro.cli import main as cli_main
+from repro.statan import (
+    RULES,
+    Severity,
+    StatanError,
+    check_paths,
+    check_source,
+    render_json,
+    render_text,
+)
+from repro.statan.engine import Result
+
+
+def findings(source, path="pkg/module.py"):
+    return check_source(textwrap.dedent(source), path)
+
+
+def codes(source, path="pkg/module.py"):
+    return [finding.code for finding in findings(source, path)]
+
+
+# -- determinism ----------------------------------------------------------
+
+class TestDeterminismRule:
+    def test_wall_clock_read_fires(self):
+        assert "DET001" in codes("""
+            import time
+            def stamp():
+                return time.time()
+        """)
+
+    def test_datetime_now_fires(self):
+        assert "DET002" in codes("""
+            import datetime
+            start = datetime.datetime.now()
+        """)
+
+    def test_os_urandom_fires(self):
+        assert "DET003" in codes("""
+            import os
+            token = os.urandom(8)
+        """)
+
+    def test_global_random_module_fires(self):
+        assert "DET004" in codes("""
+            import random
+            def jitter():
+                return random.random()
+        """)
+
+    def test_from_random_import_fires(self):
+        assert "DET004" in codes("from random import choice\n")
+
+    def test_np_random_global_fires(self):
+        assert "DET005" in codes("""
+            import numpy as np
+            x = np.random.uniform(0.0, 1.0)
+        """)
+
+    def test_unseeded_default_rng_fires(self):
+        assert "DET006" in codes("""
+            import numpy as np
+            rng = np.random.default_rng()
+        """)
+
+    def test_injected_generator_is_clean(self):
+        assert codes("""
+            import numpy as np
+
+            def service_time(rng: np.random.Generator) -> float:
+                return float(rng.exponential(0.01))
+
+            rng = np.random.default_rng(42)
+        """) == []
+
+
+# -- process discipline ---------------------------------------------------
+
+class TestProcessProtocolRule:
+    def test_bare_yield_fires(self):
+        assert "PROC001" in codes("""
+            def get_endpoint(member):
+                return None
+                yield
+        """)
+
+    def test_non_event_yield_fires(self):
+        assert "PROC002" in codes("""
+            def worker(env):
+                yield env.timeout(1.0)
+                yield 0.5
+        """)
+
+    def test_return_value_mixed_with_yields_fires(self):
+        assert "PROC003" in codes("""
+            def worker(env):
+                yield env.timeout(1.0)
+                return 42
+        """)
+
+    def test_docstring_marks_process_generator(self):
+        assert "PROC003" in codes("""
+            def send(request):
+                \"\"\"Process generator: forward and await.\"\"\"
+                yield request.reply
+                return request
+        """)
+
+    def test_event_yields_and_composition_are_clean(self):
+        assert codes("""
+            def worker(env, pool, store):
+                with pool.request() as req:
+                    yield req
+                    yield env.timeout(0.01)
+                outcome = yield req | env.timeout(0.3)
+                yield store.put(1)
+        """) == []
+
+    def test_plain_data_generators_are_ignored(self):
+        # A non-process generator (e.g. TimeSeries iteration) may yield
+        # tuples and return freely.
+        assert codes("""
+            def pairs(times, values):
+                for pair in zip(times, values):
+                    yield pair
+        """) == []
+
+
+# -- resource safety ------------------------------------------------------
+
+class TestResourceSafetyRule:
+    def test_missing_release_fires(self):
+        assert "RES001" in codes("""
+            def execute(self, seconds):
+                self.user.acquire(self.env.now)
+                yield self.env.timeout(seconds)
+        """)
+
+    def test_conditional_release_fires(self):
+        assert "RES002" in codes("""
+            def execute(self, seconds, flaky):
+                self.user.acquire(self.env.now)
+                if flaky:
+                    self.user.release(self.env.now)
+        """)
+
+    def test_try_finally_release_is_clean(self):
+        assert codes("""
+            def execute(self, seconds):
+                self.user.acquire(self.env.now)
+                try:
+                    yield self.env.timeout(seconds)
+                finally:
+                    self.user.release(self.env.now)
+        """) == []
+
+    def test_straight_line_release_is_clean(self):
+        assert codes("""
+            def tick(self, now):
+                self.tracker.acquire(now)
+                self.tracker.release(now)
+        """) == []
+
+    def test_acquire_wrappers_are_exempt(self):
+        assert codes("""
+            def try_acquire(self):
+                slot = self.pool.acquire()
+                return slot
+        """) == []
+
+
+# -- float-time hygiene ---------------------------------------------------
+
+class TestFloatTimeComparisonRule:
+    def test_timestamp_equality_fires(self):
+        assert "FLT001" in codes("""
+            def stalled(env, started_at):
+                return env.now == started_at
+        """)
+
+    def test_bounded_comparison_is_clean(self):
+        assert codes("""
+            def stalled(env, started_at, window):
+                return env.now - started_at >= window
+        """) == []
+
+    def test_none_check_is_not_flagged(self):
+        assert codes("""
+            def started(self):
+                return self.busy_since == None
+        """) == []
+
+
+# -- slots enforcement ----------------------------------------------------
+
+class TestMissingSlotsRule:
+    def test_missing_slots_in_sim_module_fires(self):
+        assert "SLOT001" in codes("""
+            class Hot:
+                def __init__(self, env):
+                    self.env = env
+        """, path="src/repro/sim/hot.py")
+
+    def test_slots_class_is_clean(self):
+        assert codes("""
+            class Hot:
+                __slots__ = ("env",)
+                def __init__(self, env):
+                    self.env = env
+        """, path="src/repro/sim/hot.py") == []
+
+    def test_exceptions_and_non_sim_modules_are_exempt(self):
+        exc = """
+            class Interrupt(Exception):
+                pass
+        """
+        assert codes(exc, path="src/repro/sim/events.py") == []
+        plain = """
+            class Report:
+                def __init__(self):
+                    self.rows = []
+        """
+        assert codes(plain, path="src/repro/analysis/report.py") == []
+
+
+# -- delay literals -------------------------------------------------------
+
+class TestBadDelayRule:
+    def test_nonfinite_delay_fires(self):
+        assert "NAN001" in codes("""
+            def poke(env):
+                yield env.timeout(float("nan"))
+        """)
+        assert "NAN001" in codes("""
+            import math
+            def poke(env, event):
+                env.schedule(event, delay=math.inf)
+        """)
+
+    def test_negative_delay_fires(self):
+        assert "NAN002" in codes("""
+            def poke(env):
+                yield env.timeout(-0.5)
+        """)
+
+    def test_finite_delays_are_clean(self):
+        assert codes("""
+            def poke(env, event, pause):
+                yield env.timeout(0.0)
+                yield env.timeout(pause)
+                env.schedule(event, delay=pause - 0.1)
+        """) == []
+
+
+# -- engine behaviour -----------------------------------------------------
+
+class TestSuppressions:
+    def test_same_line_suppression_by_rule_id(self):
+        clean = """
+            import time
+            def stamp():
+                return time.time()  # statan: ignore[determinism]
+        """
+        assert codes(clean) == []
+
+    def test_same_line_suppression_by_code(self):
+        assert codes("""
+            def worker(env):
+                yield env.timeout(1.0)
+                return 42  # statan: ignore[PROC003]
+        """) == []
+
+    def test_bare_ignore_suppresses_everything(self):
+        assert codes("""
+            import time
+            def stamp():
+                return time.time()  # statan: ignore
+        """) == []
+
+    def test_wrong_id_does_not_suppress(self):
+        assert "DET001" in codes("""
+            import time
+            def stamp():
+                return time.time()  # statan: ignore[missing-slots]
+        """)
+
+    def test_marker_composes_with_other_comments(self):
+        assert codes("""
+            def get_endpoint(member):
+                return None
+                yield  # pragma: no cover; statan: ignore[PROC001]
+        """) == []
+
+    def test_suppressions_are_counted(self, tmp_path):
+        module = tmp_path / "mod.py"
+        module.write_text(
+            "import time\n"
+            "t = time.time()  # statan: ignore[determinism]\n")
+        result = check_paths([str(module)])
+        assert result.findings == []
+        assert result.suppressed == 1
+
+
+class TestEngine:
+    def test_syntax_error_becomes_finding(self):
+        result = findings("def broken(:\n")
+        assert [finding.code for finding in result] == ["STX001"]
+        assert result[0].severity is Severity.ERROR
+
+    def test_select_and_ignore_filter_rules(self, tmp_path):
+        module = tmp_path / "mod.py"
+        module.write_text("import time\nt = time.time()\nyield_free = 1\n")
+        selected = check_paths([str(module)], select=["missing-slots"])
+        assert selected.findings == []
+        ignored = check_paths([str(module)], ignore=["determinism"])
+        assert ignored.findings == []
+        default = check_paths([str(module)])
+        assert [f.code for f in default.findings] == ["DET001"]
+
+    def test_unknown_rule_id_raises(self, tmp_path):
+        with pytest.raises(StatanError):
+            check_paths([str(tmp_path)], select=["no-such-rule"])
+
+    def test_missing_path_raises(self):
+        with pytest.raises(StatanError):
+            check_paths(["definitely/not/here"])
+
+    def test_min_severity_filters(self, tmp_path):
+        module = tmp_path / "mod.py"
+        module.write_text(textwrap.dedent("""
+            def worker(env):
+                yield env.timeout(1.0)
+                return 42
+        """))
+        warn = check_paths([str(module)], min_severity=Severity.WARNING)
+        assert [f.code for f in warn.findings] == ["PROC003"]
+        err = check_paths([str(module)], min_severity=Severity.ERROR)
+        assert err.findings == []
+
+    def test_every_rule_has_id_and_codes(self):
+        ids = [rule.id for rule in RULES]
+        assert len(ids) == len(set(ids)) == 6
+        for rule in RULES:
+            assert rule.codes, rule.id
+            assert rule.description, rule.id
+
+
+class TestReporters:
+    def _result(self, tmp_path) -> Result:
+        module = tmp_path / "mod.py"
+        module.write_text("import time\nt = time.time()\n")
+        return check_paths([str(module)])
+
+    def test_text_report_lists_findings_and_summary(self, tmp_path):
+        text = render_text(self._result(tmp_path))
+        assert "DET001" in text
+        assert "checked 1 file:" in text
+        assert "1 error(s)" in text
+
+    def test_json_schema(self, tmp_path):
+        payload = json.loads(render_json(self._result(tmp_path)))
+        assert payload["version"] == 1
+        assert payload["files_checked"] == 1
+        assert payload["suppressed"] == 0
+        assert set(payload["counts"]) == {"info", "warning", "error"}
+        assert payload["counts"]["error"] == 1
+        (finding,) = payload["findings"]
+        assert set(finding) == {
+            "path", "line", "col", "code", "rule", "severity", "message"}
+        assert finding["code"] == "DET001"
+        assert finding["rule"] == "determinism"
+        assert finding["severity"] == "error"
+        assert finding["line"] == 2
+
+
+# -- CLI ------------------------------------------------------------------
+
+class TestStatanCli:
+    def test_exit_zero_on_clean_tree(self, tmp_path, capsys):
+        module = tmp_path / "clean.py"
+        module.write_text("VALUE = 1\n")
+        assert cli_main(["statan", str(module)]) == 0
+        assert "0 error(s)" in capsys.readouterr().out
+
+    def test_exit_one_on_findings(self, tmp_path, capsys):
+        module = tmp_path / "dirty.py"
+        module.write_text("import time\nt = time.time()\n")
+        assert cli_main(["statan", str(module)]) == 1
+        assert "DET001" in capsys.readouterr().out
+
+    def test_exit_two_on_internal_error(self, tmp_path, capsys):
+        missing = tmp_path / "not-there"
+        assert cli_main(["statan", str(missing)]) == 2
+        assert "statan: error" in capsys.readouterr().err
+
+    def test_exit_two_on_unknown_rule(self, tmp_path, capsys):
+        module = tmp_path / "clean.py"
+        module.write_text("VALUE = 1\n")
+        assert cli_main(
+            ["statan", str(module), "--select", "bogus"]) == 2
+        capsys.readouterr()
+
+    def test_json_format_and_min_severity(self, tmp_path, capsys):
+        module = tmp_path / "mod.py"
+        module.write_text(textwrap.dedent("""
+            def worker(env):
+                yield env.timeout(1.0)
+                return 42
+        """))
+        assert cli_main(["statan", str(module), "--format", "json",
+                         "--min-severity", "error"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["findings"] == []
+        assert cli_main(["statan", str(module), "--format", "json"]) == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert [f["code"] for f in payload["findings"]] == ["PROC003"]
+
+    def test_repo_source_tree_is_clean(self, capsys):
+        # The acceptance bar: zero unsuppressed findings in src/repro.
+        tree = pathlib.Path(__file__).resolve().parent.parent / "src/repro"
+        assert cli_main(["statan", str(tree)]) == 0
+        capsys.readouterr()

@@ -334,7 +334,8 @@ class ResourceSafetyRule(Rule):
         return out
 
     def _check(self, ctx: Context, func) -> None:
-        if "acquire" in func.name:
+        if (func.name in ("acquire", "try_acquire")
+                or func.name.startswith(("acquire_", "try_acquire_"))):
             # Wrapper methods forwarding to an inner pool hand the slot
             # to their caller by design.
             return
@@ -399,16 +400,17 @@ class FloatTimeComparisonRule(Rule):
         if any(isinstance(op, ast.Constant) and op.value is None
                for op in operands):
             return  # `x == None` is someone else's lint.
+        left = node.left
         for op, right in zip(node.ops, node.comparators):
-            if not isinstance(op, (ast.Eq, ast.NotEq)):
-                continue
-            name = _time_like(node.left) or _time_like(right)
-            if name is not None:
-                ctx.report(node, "FLT001", self.id, Severity.WARNING,
-                           "float equality on timestamp '{}'; compare "
-                           "with <=/>= bounds or an explicit tolerance"
-                           .format(name))
-                return
+            if isinstance(op, (ast.Eq, ast.NotEq)):
+                name = _time_like(left) or _time_like(right)
+                if name is not None:
+                    ctx.report(node, "FLT001", self.id, Severity.WARNING,
+                               "float equality on timestamp '{}'; compare "
+                               "with <=/>= bounds or an explicit tolerance"
+                               .format(name))
+                    return
+            left = right
 
 
 # -- slots enforcement ----------------------------------------------------

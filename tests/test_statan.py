@@ -182,6 +182,12 @@ class TestResourceSafetyRule:
                 return slot
         """) == []
 
+    def test_acquire_substring_name_is_not_exempt(self):
+        assert "RES001" in codes("""
+            def process_acquired_batch(self):
+                self.pool.acquire()
+        """)
+
 
 # -- float-time hygiene ---------------------------------------------------
 
@@ -203,6 +209,12 @@ class TestFloatTimeComparisonRule:
             def started(self):
                 return self.busy_since == None
         """) == []
+
+    def test_chained_comparison_checks_running_left_operand(self):
+        assert "FLT001" in codes("""
+            def stalled(a, started_at, b):
+                return a < started_at == b
+        """)
 
 
 # -- slots enforcement ----------------------------------------------------

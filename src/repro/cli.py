@@ -7,6 +7,7 @@ Subcommands::
     repro-lb table1 [--workers 4]         # the full Table I comparison
     repro-lb replicate table1/current_load --runs 8 --workers 4
     repro-lb statan src/repro             # simulation lint (see DESIGN.md)
+    repro-lb chaos --faults crash,slow --remedies none,full
 """
 
 from __future__ import annotations
@@ -90,6 +91,29 @@ def _cmd_export(args: argparse.Namespace) -> int:
     return 0
 
 
+def _split(value: str | None) -> list[str] | None:
+    if value is None:
+        return None
+    return [item.strip() for item in value.split(",") if item.strip()]
+
+
+def _cmd_chaos(args: argparse.Namespace) -> int:
+    from repro.cluster.config import ScaleProfile
+    from repro.cluster.scenarios import ChaosSuite
+
+    suite = ChaosSuite(
+        fault_keys=_split(args.faults),
+        remedy_keys=_split(args.remedies),
+        bundle_keys=_split(args.bundles),
+        duration=args.duration,
+        seed=args.seed,
+        profile=ScaleProfile() if args.full_scale else ScaleProfile.smoke(),
+    )
+    report = suite.run(workers=args.workers)
+    print(report.render())
+    return 0
+
+
 def _cmd_statan(args: argparse.Namespace) -> int:
     from repro.statan import (
         StatanError,
@@ -162,6 +186,34 @@ def build_parser() -> argparse.ArgumentParser:
     export.add_argument("--duration", type=float, default=None)
     export.add_argument("--seed", type=int, default=None)
     export.set_defaults(func=_cmd_export)
+
+    chaos = sub.add_parser(
+        "chaos",
+        help="run the fault x remedy x policy chaos grid",
+        description="Cross the fault zoo with the resilience bundles "
+                    "and the Table-I policy bundles; report "
+                    "availability, %VLRT, retry amplification and "
+                    "goodput per cell.")
+    chaos.add_argument("--faults", default="crash,slow,packet_loss",
+                       metavar="KEYS",
+                       help="comma-separated fault scenarios "
+                            "(default: crash,slow,packet_loss)")
+    chaos.add_argument("--remedies", default="none,full", metavar="KEYS",
+                       help="comma-separated resilience bundles "
+                            "(default: none,full)")
+    chaos.add_argument("--bundles",
+                       default="original_total_request,"
+                               "current_load_modified",
+                       metavar="KEYS",
+                       help="comma-separated policy bundles")
+    chaos.add_argument("--duration", type=float, default=12.0)
+    chaos.add_argument("--seed", type=int, default=42)
+    chaos.add_argument("--workers", type=int, default=1,
+                       help="process-pool size; 1 runs serially (default)")
+    chaos.add_argument("--full-scale", action="store_true",
+                       help="use the paper-scale profile instead of the "
+                            "fast smoke profile")
+    chaos.set_defaults(func=_cmd_chaos)
 
     statan = sub.add_parser(
         "statan",

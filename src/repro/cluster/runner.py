@@ -17,6 +17,7 @@ from typing import Optional
 import numpy as np
 
 from repro.cluster.config import ScaleProfile
+from repro.cluster.faults import FaultInjector, FaultSpec
 from repro.cluster.topology import NTierSystem, build_system
 from repro.core.balancer import BalancerConfig
 from repro.core.remedies import RemedyBundle, get_bundle
@@ -27,10 +28,17 @@ from repro.metrics.stats import ResponseTimeStats
 from repro.metrics.timeseries import TimeSeries
 from repro.metrics.windows import PAPER_WINDOW
 from repro.netmodel.tcp import RetransmissionPolicy
+from repro.resilience import ResilienceConfig
 from repro.sim.core import Environment
 from repro.sim.monitor import Sampler
 from repro.workload.generator import ClientPopulation
 from repro.workload.mix import WorkloadMix, read_write_mix
+
+#: Stream constant separating the fault injector's RNG stream from the
+#: run's main generator: both derive from ``config.seed`` but never
+#: share draws, so adding faults cannot perturb workload randomness
+#: (and the fault timeline is identical under workers=1 and workers=N).
+FAULT_RNG_STREAM = 0xFA
 
 
 @dataclass(frozen=True)
@@ -53,6 +61,11 @@ class ExperimentConfig:
     trace_lb_values: bool = True
     trace_dispatches: bool = True
     sample_dirty_pages: bool = False
+    #: Declarative fault specs injected against the built system (see
+    #: :mod:`repro.cluster.faults`); empty means a fault-free run.
+    faults: tuple["FaultSpec", ...] = ()
+    #: Remedy layer configuration; ``None`` is the seed system.
+    resilience: Optional[ResilienceConfig] = None
 
     def __post_init__(self) -> None:
         if self.duration <= 0:
@@ -76,6 +89,8 @@ class ExperimentResult:
     queue_series: dict[str, TimeSeries]
     #: Dirty-page timeline per host name (if sampled).
     dirty_series: dict[str, TimeSeries]
+    #: Ground-truth fault records for the run (``None`` when faultless).
+    fault_injector: Optional[FaultInjector] = None
 
     # -- response times --------------------------------------------------
     @property
@@ -126,6 +141,45 @@ class ExperimentResult:
     def dropped_packets(self) -> int:
         """Client packets lost to web-tier accept-queue overflow."""
         return sum(apache.socket.dropped for apache in self.system.apaches)
+
+    # -- chaos metrics -----------------------------------------------------
+    def error_responses(self) -> int:
+        """Fast 503s returned because every backend was in Error."""
+        return sum(apache.error_responses for apache in self.system.apaches)
+
+    def hedges_issued(self) -> int:
+        return sum(hedger.hedges_issued for hedger in self.system.hedgers)
+
+    def availability(self) -> float:
+        """Successful client-visible outcomes / all client-visible outcomes.
+
+        A 503 counts against availability even though the client got a
+        (fast) response; an abandoned request counts against it too.
+        """
+        total = self.stats().count + self.population.requests_abandoned
+        if total == 0:
+            return 1.0
+        return (self.stats().count - self.error_responses()) / total
+
+    def retry_amplification(self) -> float:
+        """System-side attempts per logical client request.
+
+        Counts client attempts (application retries included) plus
+        hedge copies; 1.0 means no remedy duplicated any work.
+        """
+        logical = (self.population.requests_completed
+                   + self.population.requests_abandoned)
+        if logical == 0:
+            return 1.0
+        return (self.population.attempts_issued
+                + self.hedges_issued()) / logical
+
+    def goodput(self) -> float:
+        """Useful responses (no 503, under the VLRT threshold) per second."""
+        stats = self.stats()
+        useful = (stats.count - self.error_responses()
+                  - stats.vlrt_fraction * stats.count)
+        return max(0.0, useful) / self.duration
 
     def summary(self) -> str:
         """A one-paragraph human-readable summary."""
@@ -179,7 +233,18 @@ class ExperimentRunner:
             apache_millibottlenecks=config.apache_millibottlenecks,
             balancer_config=balancer_config,
             use_balancer=config.use_balancer,
+            resilience=config.resilience,
         )
+
+        fault_injector = None
+        if config.faults:
+            # The injector gets its own stream off the run seed so the
+            # fault timeline is a pure function of (seed, faults) —
+            # identical whether the run executes serially or in a pool.
+            fault_injector = FaultInjector(
+                env, rng=np.random.default_rng(
+                    [config.seed, FAULT_RNG_STREAM]))
+            fault_injector.inject_all(config.faults, system)
 
         population = ClientPopulation(
             env,
@@ -190,6 +255,8 @@ class ExperimentRunner:
             think_time=profile.think_time,
             retransmission=RetransmissionPolicy(),
             ramp_up=profile.ramp_up,
+            retry=(config.resilience.retry
+                   if config.resilience is not None else None),
         )
 
         queue_samplers = {
@@ -214,6 +281,7 @@ class ExperimentRunner:
             system=system,
             population=population,
             duration=config.duration,
+            fault_injector=fault_injector,
             queue_series={
                 name: TimeSeries.from_arrays(*sampler.series(), name=name)
                 for name, sampler in queue_samplers.items()

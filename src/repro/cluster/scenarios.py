@@ -3,16 +3,34 @@
 Every figure and table maps to a scenario key (see DESIGN.md's
 experiment index).  ``Scenario.named(key)`` returns a ready-to-run
 :class:`~repro.cluster.runner.ExperimentConfig`.
+
+:class:`ChaosSuite` is the fault/remedy matrix: it crosses the fault
+zoo (:data:`FAULT_SCENARIOS`) with the remedy bundles
+(:data:`~repro.resilience.RESILIENCE_BUNDLES`) and the Table-I
+policy/mechanism bundles, fans the cells out through
+:mod:`repro.parallel`, and reports availability, %VLRT, retry
+amplification and goodput per cell.
 """
 
 from __future__ import annotations
 
-from typing import Callable
+from dataclasses import dataclass
+from typing import Callable, Optional, Sequence
 
 from repro.cluster.config import ScaleProfile
+from repro.cluster.faults import (
+    CorrelatedCrashFault,
+    CrashFault,
+    FaultSpec,
+    LinkLatencyFault,
+    PacketLossFault,
+    RecurringFault,
+    SlowFault,
+)
 from repro.cluster.runner import ExperimentConfig
 from repro.core.remedies import BUNDLES
 from repro.errors import ConfigurationError
+from repro.resilience import RESILIENCE_BUNDLES, get_resilience
 
 #: Default run length for figure-level scenarios (seconds).
 FIGURE_DURATION = 20.0
@@ -102,3 +120,187 @@ class Scenario:
     @staticmethod
     def keys() -> list[str]:
         return sorted(_REGISTRY)
+
+
+# -- the chaos suite --------------------------------------------------------
+
+#: Default run length for chaos cells (seconds).
+CHAOS_DURATION = 12.0
+
+#: Named fault timelines, each a factory ``duration -> specs`` so the
+#: fault windows scale with the cell's run length.  Windows start after
+#: ramp-up and end before the run does, so every cell also measures the
+#: recovery, not just the fault.
+FAULT_SCENARIOS: dict[str, Callable[[float], tuple[FaultSpec, ...]]] = {
+    "none": lambda d: (),
+    "crash": lambda d: (
+        CrashFault("tomcat1", at=0.25 * d),),
+    "transient_crash": lambda d: (
+        CrashFault("tomcat1", at=0.25 * d, duration=0.25 * d),),
+    "slow": lambda d: (
+        SlowFault("tomcat1", at=0.25 * d, duration=0.35 * d, factor=8.0),),
+    "packet_loss": lambda d: (
+        PacketLossFault(at=0.25 * d, duration=0.35 * d, loss=0.01),),
+    "link_latency": lambda d: (
+        LinkLatencyFault("tomcat1", at=0.25 * d, duration=0.35 * d,
+                         extra=0.005),),
+    "burst": lambda d: (
+        CorrelatedCrashFault(("tomcat1", "tomcat2"), at=0.25 * d,
+                             duration=0.2 * d, jitter=0.05 * d),),
+    "recurring_slow": lambda d: (
+        RecurringFault("tomcat1", kind="slow", mean_interval=0.12 * d,
+                       duration=0.04 * d, factor=6.0),),
+}
+
+
+def fault_specs(key: str, duration: float) -> tuple[FaultSpec, ...]:
+    """Resolve a named fault scenario for a run of ``duration``."""
+    try:
+        factory = FAULT_SCENARIOS[key]
+    except KeyError:
+        raise ConfigurationError(
+            "unknown fault scenario {!r}; available: {}".format(
+                key, ", ".join(sorted(FAULT_SCENARIOS)))) from None
+    return tuple(factory(duration))
+
+
+@dataclass(frozen=True)
+class ChaosCell:
+    """One point of the fault x remedy x policy grid."""
+
+    fault_key: str
+    remedy_key: str
+    bundle_key: str
+    config: ExperimentConfig
+
+    @property
+    def label(self) -> str:
+        return "{}|{}|{}".format(self.fault_key, self.remedy_key,
+                                 self.bundle_key)
+
+
+@dataclass(frozen=True)
+class ChaosReport:
+    """Results of a suite run, one summary-like object per cell."""
+
+    cells: tuple[ChaosCell, ...]
+    results: tuple
+
+    def rows(self) -> list[dict]:
+        """One metrics dict per cell, grid keys included."""
+        rows = []
+        for cell, result in zip(self.cells, self.results):
+            stats = result.stats()
+            rows.append({
+                "fault": cell.fault_key,
+                "remedy": cell.remedy_key,
+                "bundle": cell.bundle_key,
+                "availability": result.availability(),
+                "vlrt_pct": 100.0 * stats.vlrt_fraction,
+                "amplification": result.retry_amplification(),
+                "goodput": result.goodput(),
+                "requests": stats.count,
+                "drops": result.dropped_packets(),
+                "errors_503": result.error_responses(),
+            })
+        return rows
+
+    def render(self) -> str:
+        """The grid as a fixed-width text table."""
+        header = ("{:<15s} {:<15s} {:<24s} {:>6s} {:>7s} {:>5s} "
+                  "{:>8s} {:>7s} {:>6s} {:>5s}").format(
+                      "fault", "remedy", "bundle", "avail%", "vlrt%",
+                      "amp", "goodput", "reqs", "drops", "503s")
+        lines = [header, "-" * len(header)]
+        for row in self.rows():
+            lines.append(
+                "{:<15s} {:<15s} {:<24s} {:>6.2f} {:>7.3f} {:>5.2f} "
+                "{:>8.1f} {:>7d} {:>6d} {:>5d}".format(
+                    row["fault"], row["remedy"], row["bundle"],
+                    100.0 * row["availability"], row["vlrt_pct"],
+                    row["amplification"], row["goodput"],
+                    row["requests"], row["drops"], row["errors_503"]))
+        return "\n".join(lines)
+
+
+class ChaosSuite:
+    """Cross fault scenarios x remedy bundles x balancing policies.
+
+    Every cell runs the same profile, duration and seed, so differences
+    within the grid are attributable to the cell's coordinates alone.
+    Cells are independent experiments and fan out through
+    :func:`repro.parallel.run_experiments`; fault schedules are keyed
+    off the run seed (see ``FAULT_RNG_STREAM``), so a cell's numbers
+    are identical under ``workers=1`` and ``workers=N``.
+    """
+
+    def __init__(self,
+                 fault_keys: Optional[Sequence[str]] = None,
+                 remedy_keys: Optional[Sequence[str]] = None,
+                 bundle_keys: Optional[Sequence[str]] = None,
+                 duration: float = CHAOS_DURATION,
+                 seed: int = 42,
+                 profile: Optional[ScaleProfile] = None) -> None:
+        self.fault_keys = list(fault_keys if fault_keys is not None
+                               else sorted(FAULT_SCENARIOS))
+        self.remedy_keys = list(remedy_keys if remedy_keys is not None
+                                else ("none", "full"))
+        self.bundle_keys = list(bundle_keys if bundle_keys is not None
+                                else ("original_total_request",
+                                      "current_load_modified"))
+        for key in self.fault_keys:
+            if key not in FAULT_SCENARIOS:
+                raise ConfigurationError(
+                    "unknown fault scenario {!r}".format(key))
+        for key in self.remedy_keys:
+            if key not in RESILIENCE_BUNDLES:
+                raise ConfigurationError(
+                    "unknown resilience bundle {!r}".format(key))
+        for key in self.bundle_keys:
+            if key not in BUNDLES:
+                raise ConfigurationError(
+                    "unknown policy bundle {!r}".format(key))
+        if duration <= 0:
+            raise ConfigurationError("duration must be positive")
+        self.duration = duration
+        self.seed = seed
+        self.profile = profile or ScaleProfile.smoke()
+
+    def cells(self) -> tuple[ChaosCell, ...]:
+        """The grid, fault-major, in deterministic order."""
+        cells = []
+        for fault_key in self.fault_keys:
+            specs = fault_specs(fault_key, self.duration)
+            for remedy_key in self.remedy_keys:
+                resilience = get_resilience(remedy_key)
+                for bundle_key in self.bundle_keys:
+                    cells.append(ChaosCell(
+                        fault_key=fault_key,
+                        remedy_key=remedy_key,
+                        bundle_key=bundle_key,
+                        config=ExperimentConfig(
+                            bundle_key=bundle_key,
+                            profile=self.profile,
+                            duration=self.duration,
+                            seed=self.seed,
+                            trace_lb_values=False,
+                            trace_dispatches=False,
+                            faults=specs,
+                            resilience=(resilience if resilience.enabled
+                                        else None),
+                        )))
+        return tuple(cells)
+
+    def run(self, workers: Optional[int] = 1, mix=None) -> ChaosReport:
+        """Run every cell and collect the report.
+
+        ``workers`` follows :func:`repro.parallel.run_experiments`:
+        1 runs serially, N fans out over a process pool, ``None`` uses
+        one worker per CPU.  Results are identical either way.
+        """
+        from repro.parallel import run_experiments
+
+        cells = self.cells()
+        results = run_experiments([cell.config for cell in cells],
+                                  workers=workers, mix=mix)
+        return ChaosReport(cells=cells, results=tuple(results))

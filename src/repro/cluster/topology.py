@@ -27,6 +27,9 @@ from repro.tiers.mysql import MySqlServer
 from repro.tiers.tomcat import TomcatServer
 
 if TYPE_CHECKING:  # pragma: no cover
+    from repro.resilience import ResilienceConfig
+    from repro.resilience.hedge import HedgingDispatcher
+    from repro.resilience.probes import HealthProber
     from repro.sim.core import Environment
 
 #: Seed of the generator :func:`build_system` falls back to when the
@@ -48,6 +51,10 @@ class NTierSystem:
     mysql: MySqlServer
     balancers: list[LoadBalancer] = field(default_factory=list)
     direct_dispatchers: list[DirectDispatcher] = field(default_factory=list)
+    #: Health-probe drivers, one per balancer (when probes configured).
+    probers: list["HealthProber"] = field(default_factory=list)
+    #: Hedging wrappers, one per balancer (when hedging configured).
+    hedgers: list["HedgingDispatcher"] = field(default_factory=list)
 
     @property
     def hosts(self) -> list[Host]:
@@ -90,6 +97,7 @@ def build_system(
     balancer_config: Optional[BalancerConfig] = None,
     state_config: Optional[StateConfig] = None,
     use_balancer: bool = True,
+    resilience: Optional["ResilienceConfig"] = None,
 ) -> NTierSystem:
     """Build and wire an n-tier system.
 
@@ -100,6 +108,13 @@ def build_system(
     ``rng`` should be the experiment's seeded generator; when omitted,
     a generator seeded with :data:`DEFAULT_BUILD_SEED` keeps even
     ad-hoc builds deterministic.
+
+    ``resilience`` wires the remedy layer around each balancer:
+    circuit breakers on the members, health probers, and a hedging
+    wrapper between Apache and its balancer.  ``None`` (and the
+    all-``None`` config) build a system event-for-event identical to
+    the seed one.  The client-side retry remedy lives with the client
+    population, not here.
     """
     if rng is None:
         rng = np.random.default_rng(DEFAULT_BUILD_SEED)
@@ -160,7 +175,9 @@ def build_system(
                 config=config,
                 state_config=state_config,
             )
-            apache.attach_dispatcher(balancer)
+            dispatcher = _wire_resilience(env, system, balancer,
+                                          resilience, rng)
+            apache.attach_dispatcher(dispatcher)
             system.balancers.append(balancer)
     else:
         if profile.apache_count != 1 or profile.tomcat_count != 1:
@@ -171,3 +188,33 @@ def build_system(
         system.direct_dispatchers.append(dispatcher)
 
     return system
+
+
+def _wire_resilience(env, system, balancer, resilience, rng):
+    """Install the configured remedies around one balancer.
+
+    Returns the dispatcher the Apache should use: the balancer itself,
+    or its hedging wrapper.
+    """
+    if resilience is None:
+        return balancer
+    if resilience.breaker is not None:
+        from repro.resilience.breaker import CircuitBreaker
+
+        balancer.install_breakers([
+            CircuitBreaker(env, resilience.breaker)
+            for _ in balancer.members
+        ])
+    if resilience.probes is not None:
+        from repro.resilience.probes import HealthProber
+
+        system.probers.append(HealthProber(
+            env, balancer.members, resilience.probes, rng=rng,
+            name=balancer.name + ".prober"))
+    if resilience.hedge is not None:
+        from repro.resilience.hedge import HedgingDispatcher
+
+        hedger = HedgingDispatcher(env, balancer, resilience.hedge)
+        system.hedgers.append(hedger)
+        return hedger
+    return balancer

@@ -102,6 +102,31 @@ class LoadBalancer:
             if self.config.trace_dispatches else None)
         self.dispatches = 0
         self.endpoint_failures = 0
+        #: Whether members carry circuit breakers (see install_breakers).
+        self._breaker_gate = False
+        self.breaker_rejections = 0
+
+    # -- resilience wiring ----------------------------------------------------
+    def install_breakers(self, breakers: Sequence) -> None:
+        """Attach one circuit breaker per member and gate dispatch on them.
+
+        ``breakers`` must align with :attr:`members`.  The mechanism is
+        wrapped so every endpoint acquisition reports its outcome to
+        the member's breaker; candidate ranking skips members whose
+        breaker is open (unless every breaker is), and dispatch rejects
+        through :meth:`~repro.resilience.breaker.CircuitBreaker.allow`
+        without touching the 3-state machine.
+        """
+        from repro.core.mechanism import BreakerGuardedMechanism
+
+        if len(breakers) != len(self.members):
+            raise ConfigurationError(
+                "need one breaker per member ({} != {})".format(
+                    len(breakers), len(self.members)))
+        for member, breaker in zip(self.members, breakers):
+            member.breaker = breaker
+        self.mechanism = BreakerGuardedMechanism(self.mechanism)
+        self._breaker_gate = True
 
     # -- candidate selection --------------------------------------------------
     def _pick(self) -> Optional[BalancerMember]:
@@ -114,6 +139,13 @@ class LoadBalancer:
         """
         now = self.env.now
         eligible = [m for m in self.members if m.eligible(now)]
+        if self._breaker_gate and eligible:
+            admitted = [m for m in eligible if m.breaker.admits(now)]
+            if admitted:
+                eligible = admitted
+            # else fail open: with every breaker open, the gate yields
+            # to the 3-state machine rather than blacking out the
+            # cluster; allow() still meters trials on dispatch.
         if not eligible:
             eligible = [m for m in self.members
                         if m.state is not MemberState.ERROR]
@@ -128,10 +160,23 @@ class LoadBalancer:
         Raises :class:`NoCandidateError` when every backend is Error.
         """
         while True:
+            if request.cancelled:
+                # A hedging race this request belonged to is already
+                # decided; stop instead of re-entering the scheduler.
+                return request  # statan: ignore[PROC003] -- process value
             member = self._pick()
             if member is None:
                 raise NoCandidateError(
                     "{}: all backends in Error state".format(self.name))
+            breaker = member.breaker
+            if breaker is not None and not breaker.allow():
+                # Open breaker: instant rejection with no state-machine
+                # penalty — the breaker is already doing the excluding,
+                # and mark_busy() here would escalate a member toward
+                # Error merely for being breaker-open.
+                self.breaker_rejections += 1
+                yield self.env.timeout(self.config.retry_pause)
+                continue
             self.policy.on_pick(member, request)
             if self.pick_trace is not None:
                 self.pick_trace.log(member.name)

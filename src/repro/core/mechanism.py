@@ -107,6 +107,33 @@ class ModifiedGetEndpoint(GetEndpointMechanism):
         yield  # pragma: no cover - generator trick; statan: ignore[PROC001]
 
 
+class BreakerGuardedMechanism(GetEndpointMechanism):
+    """Feed endpoint-acquisition outcomes into the member's breaker.
+
+    Installed by ``LoadBalancer.install_breakers`` around the paper's
+    mechanisms: every acquisition attempt against a member with a
+    breaker reports its verdict (an endpoint is proof of life, a
+    ``None`` is a failure), which is what drives the breaker's
+    closed -> open escalation.  Admission gating itself happens on the
+    dispatch path *before* the mechanism runs, so an open breaker never
+    ties up a worker inside ``get_endpoint`` at all.
+    """
+
+    def __init__(self, inner: GetEndpointMechanism) -> None:
+        self.inner = inner
+        self.name = inner.name + "+breaker"
+
+    def get_endpoint(self, member: BalancerMember):
+        endpoint = yield from self.inner.get_endpoint(member)
+        breaker = member.breaker
+        if breaker is not None:
+            if endpoint is None:
+                breaker.record_failure()
+            else:
+                breaker.record_success()
+        return endpoint  # statan: ignore[PROC003] -- process value
+
+
 #: Mechanism registry for scenario lookups.
 MECHANISMS: dict[str, type] = {
     OriginalGetEndpoint.name: OriginalGetEndpoint,

@@ -82,6 +82,10 @@ class BalancerMember:
         self.inflight = 0
         #: EWMA of observed response times (used by the latency policy).
         self.ewma_response_time: Optional[float] = None
+        #: Optional circuit breaker, installed by
+        #: :meth:`~repro.core.balancer.LoadBalancer.install_breakers`;
+        #: ``None`` (the default) keeps the breaker path dormant.
+        self.breaker = None
 
     @property
     def name(self) -> str:

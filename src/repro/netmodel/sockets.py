@@ -15,7 +15,41 @@ from repro.metrics.timeseries import TimeSeries
 from repro.sim.queues import DropQueue
 
 if TYPE_CHECKING:  # pragma: no cover
+    import numpy as np
+
     from repro.sim.core import Environment
+
+
+class NetworkImpairment:
+    """A lossy / slow network path in front of a listen socket.
+
+    Installed on :attr:`ListenSocket.impairment` by the fault injector
+    for the duration of a network fault window and consulted by
+    :class:`~repro.netmodel.tcp.TcpSender` before each send: a drawn
+    drop makes the packet vanish in the network (the client's TCP
+    stack retransmits after its RTO, exactly as with an accept-queue
+    overflow), and ``extra_latency`` delays surviving packets.
+
+    Draw order is event order, which is deterministic for a fixed
+    seed, so impaired runs stay reproducible.
+    """
+
+    __slots__ = ("loss", "extra_latency", "_rng", "packets_lost")
+
+    def __init__(self, loss: float, extra_latency: float,
+                 rng: "np.random.Generator") -> None:
+        self.loss = loss
+        self.extra_latency = extra_latency
+        self._rng = rng
+        #: Packets this impairment made vanish.
+        self.packets_lost = 0
+
+    def drops(self) -> bool:
+        """Whether the next packet is lost in the network."""
+        if self.loss > 0.0 and float(self._rng.random()) < self.loss:
+            self.packets_lost += 1
+            return True
+        return False
 
 
 class ListenSocket:
@@ -30,6 +64,9 @@ class ListenSocket:
         self._queue = DropQueue(env, capacity=backlog, on_drop=self._dropped)
         #: (time, item) drop log for analysis.
         self.drop_log: list[tuple[float, object]] = []
+        #: Optional network fault in front of this socket, installed by
+        #: the fault injector; ``None`` (the default) costs nothing.
+        self.impairment: Optional[NetworkImpairment] = None
 
     def _dropped(self, item: object) -> None:
         self.drop_log.append((self.env.now, item))

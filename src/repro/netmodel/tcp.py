@@ -87,7 +87,18 @@ class TcpSender:
         """
         for attempt in range(self.policy.max_retries + 1):
             self.packets_sent += 1
-            if socket.offer(item):
+            impairment = socket.impairment
+            if impairment is None:
+                accepted = socket.offer(item)
+            elif impairment.drops():
+                # Lost in the network: same client-visible outcome as an
+                # accept-queue drop — silence, then the RTO fires.
+                accepted = False
+            else:
+                if impairment.extra_latency > 0.0:
+                    yield self.env.timeout(impairment.extra_latency)
+                accepted = socket.offer(item)
+            if accepted:
                 return attempt  # statan: ignore[PROC003] -- process value
             self.packets_dropped += 1
             if attempt == self.policy.max_retries:

@@ -58,10 +58,14 @@ class Host:
         self.flush_daemon = FlushDaemon(self, self.flush_profile)
         #: Optional dirty-byte timeline, filled by observers (Fig. 2(e)).
         self.dirty_series = TimeSeries(name + ".dirty")
+        #: Service-rate degradation multiplier (fail-slow fault
+        #: injection): every CPU demand is stretched by this factor.
+        #: ``1.0`` is bit-exact identity, so the hook is free when off.
+        self.slowdown = 1.0
 
     def execute(self, cpu_seconds: float):
         """Process generator: run foreground work for ``cpu_seconds``."""
-        return self.cpu.execute(cpu_seconds)
+        return self.cpu.execute(cpu_seconds * self.slowdown)
 
     def write_file(self, nbytes: float) -> None:
         """Buffered file write (returns immediately; dirties pages)."""

@@ -70,6 +70,14 @@ class ExperimentSummary:
     millibottlenecks: int
     queue_series: dict[str, TimeSeries]
     dirty_series: dict[str, TimeSeries]
+    #: Chaos-suite counters (all zero for a fault-free, remedy-free run;
+    #: defaults keep summaries pickled by older code readable).
+    error_responses_count: int = 0
+    abandoned: int = 0
+    attempts: int = 0
+    hedges: int = 0
+    hedge_wins: int = 0
+    fault_count: int = 0
 
     # -- ExperimentResult reporting surface (duck-typed) -----------------
     def stats(self) -> ResponseTimeStats:
@@ -85,6 +93,35 @@ class ExperimentSummary:
     def dropped_packets(self) -> int:
         """Client packets lost to web-tier accept-queue overflow."""
         return self.dropped
+
+    # -- chaos metrics (mirror ExperimentResult's formulas) --------------
+    def error_responses(self) -> int:
+        """Fast 503s returned because every backend was in Error."""
+        return self.error_responses_count
+
+    def hedges_issued(self) -> int:
+        return self.hedges
+
+    def availability(self) -> float:
+        """Successful client-visible outcomes / all client-visible outcomes."""
+        total = self.response_stats.count + self.abandoned
+        if total == 0:
+            return 1.0
+        return (self.response_stats.count - self.error_responses_count) / total
+
+    def retry_amplification(self) -> float:
+        """System-side attempts per logical client request."""
+        logical = self.response_stats.count + self.abandoned
+        if logical == 0:
+            return 1.0
+        return (self.attempts + self.hedges) / logical
+
+    def goodput(self) -> float:
+        """Useful responses (no 503, under the VLRT threshold) per second."""
+        stats = self.response_stats
+        useful = (stats.count - self.error_responses_count
+                  - stats.vlrt_fraction * stats.count)
+        return max(0.0, useful) / self.duration
 
     def summary(self) -> str:
         """A one-paragraph human-readable summary."""
@@ -105,6 +142,11 @@ class ExperimentSummary:
 
 def summarize(result: ExperimentResult) -> ExperimentSummary:
     """Reduce a full result to its picklable summary."""
+    injector = result.fault_injector
+    fault_count = 0
+    if injector is not None:
+        fault_count = (len(injector.records) + len(injector.slow_records)
+                       + len(injector.net_records))
     return ExperimentSummary(
         config=result.config,
         duration=result.duration,
@@ -113,6 +155,12 @@ def summarize(result: ExperimentResult) -> ExperimentSummary:
         millibottlenecks=len(result.system.millibottleneck_records()),
         queue_series=result.queue_series,
         dirty_series=result.dirty_series,
+        error_responses_count=result.error_responses(),
+        abandoned=result.population.requests_abandoned,
+        attempts=result.population.attempts_issued,
+        hedges=result.hedges_issued(),
+        hedge_wins=sum(h.hedge_wins for h in result.system.hedgers),
+        fault_count=fault_count,
     )
 
 

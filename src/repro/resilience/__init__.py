@@ -1,0 +1,100 @@
+"""The remedy layer: what a deployment can do about transient faults.
+
+The paper studies two remedies — the ``current_load`` policy and the
+modified single-probe ``get_endpoint`` — both *balancer-internal*.
+This package adds the remedies that live around the balancer in real
+deployments, each wired in only when configured and strictly zero-cost
+when absent:
+
+* :class:`~repro.resilience.retry.RetryPolicy` — client-side
+  per-request timeout + capped exponential backoff with jitter
+  (wired into :class:`~repro.workload.client.Client`);
+* :class:`~repro.resilience.hedge.HedgePolicy` /
+  :class:`~repro.resilience.hedge.HedgingDispatcher` — web-tier
+  duplicate-after-delay with first-wins cancellation (wrapping
+  :class:`~repro.core.balancer.LoadBalancer`);
+* :class:`~repro.resilience.breaker.BreakerConfig` /
+  :class:`~repro.resilience.breaker.CircuitBreaker` — per-member
+  closed/open/half-open admission control generalising the paper's
+  OK/Busy/Error machine (consulted by ``LoadBalancer`` and fed by a
+  mechanism wrapper in :mod:`repro.core.mechanism`);
+* :class:`~repro.resilience.probes.ProbeConfig` /
+  :class:`~repro.resilience.probes.HealthProber` — active health
+  probes feeding member state independently of request traffic.
+
+:class:`ResilienceConfig` bundles any subset; :data:`RESILIENCE_BUNDLES`
+names the combinations the chaos suite crosses with fault scenarios.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.errors import ConfigurationError
+from repro.resilience.breaker import (
+    BreakerConfig,
+    BreakerState,
+    CircuitBreaker,
+)
+from repro.resilience.hedge import HedgePolicy, HedgingDispatcher
+from repro.resilience.probes import HealthProber, ProbeConfig
+from repro.resilience.retry import RetryPolicy
+
+__all__ = [
+    "BreakerConfig",
+    "BreakerState",
+    "CircuitBreaker",
+    "HealthProber",
+    "HedgePolicy",
+    "HedgingDispatcher",
+    "ProbeConfig",
+    "RESILIENCE_BUNDLES",
+    "ResilienceConfig",
+    "RetryPolicy",
+    "get_resilience",
+]
+
+
+@dataclass(frozen=True)
+class ResilienceConfig:
+    """Any subset of the remedy layer, as one picklable value object.
+
+    ``None`` for a component leaves it out entirely — the wiring points
+    check for presence, so an all-``None`` config (or no config at all)
+    is event-for-event identical to the seed system.
+    """
+
+    retry: Optional[RetryPolicy] = None
+    hedge: Optional[HedgePolicy] = None
+    breaker: Optional[BreakerConfig] = None
+    probes: Optional[ProbeConfig] = None
+
+    @property
+    def enabled(self) -> bool:
+        return any(component is not None for component in
+                   (self.retry, self.hedge, self.breaker, self.probes))
+
+
+#: Named remedy bundles the chaos suite crosses with fault scenarios.
+RESILIENCE_BUNDLES: dict[str, ResilienceConfig] = {
+    "none": ResilienceConfig(),
+    "retry": ResilienceConfig(retry=RetryPolicy()),
+    "hedge": ResilienceConfig(hedge=HedgePolicy()),
+    "breaker": ResilienceConfig(breaker=BreakerConfig()),
+    "probes": ResilienceConfig(probes=ProbeConfig()),
+    "breaker+probes": ResilienceConfig(breaker=BreakerConfig(),
+                                       probes=ProbeConfig()),
+    "full": ResilienceConfig(retry=RetryPolicy(), hedge=HedgePolicy(),
+                             breaker=BreakerConfig(), probes=ProbeConfig()),
+}
+
+
+def get_resilience(key: str) -> ResilienceConfig:
+    """Look up a named remedy bundle."""
+    try:
+        return RESILIENCE_BUNDLES[key]
+    except KeyError:
+        raise ConfigurationError(
+            "unknown resilience bundle {!r} (have: {})".format(
+                key, ", ".join(sorted(RESILIENCE_BUNDLES)))) from None

@@ -1,0 +1,180 @@
+"""Per-member circuit breaker: closed / open / half-open.
+
+The paper's 3-state machine (Available/Busy/Error) escalates on failed
+endpoint probes and recovers on a timer.  A circuit breaker generalises
+it: *closed* admits traffic and counts consecutive failures; *open*
+rejects instantly for ``open_duration`` (no worker ever blocks on a
+member known to be failing); *half-open* admits a bounded number of
+trial requests whose outcomes decide between closing and re-opening.
+
+Two differences from Busy/Error matter under millibottlenecks:
+
+* the open window (default 0.5 s) is sized for transient stalls, not
+  the 10 s ``error_recovery`` quarantine — a millibottlenecked member
+  comes back after one short window instead of being ejected;
+* recovery is evidence-driven (trial outcomes, or health-probe results
+  feeding :meth:`CircuitBreaker.record_success`) rather than purely
+  timer-driven.
+
+The breaker never takes the whole cluster out: candidate selection
+falls back to ignoring breakers when every member's breaker is open
+(see ``LoadBalancer._pick``), and an open breaker re-admits trials
+whenever ``open_duration`` has elapsed.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+from repro.errors import ConfigurationError
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.core import Environment
+
+
+class BreakerState(enum.Enum):
+    CLOSED = "closed"
+    OPEN = "open"
+    HALF_OPEN = "half_open"
+
+
+@dataclass(frozen=True)
+class BreakerConfig:
+    """Breaker tuning knobs.
+
+    Parameters
+    ----------
+    failure_threshold:
+        Consecutive failures (while closed) that trip the breaker.
+    open_duration:
+        Seconds an open breaker rejects before admitting trials.
+    half_open_trials:
+        Trial admissions per half-open episode; when all their outcomes
+        are lost (e.g. a worker hung on a crashed member), a fresh
+        trial batch is admitted after another ``open_duration``.
+    close_after:
+        Successful trials needed to close from half-open.  A single
+        failure re-opens regardless.
+    """
+
+    failure_threshold: int = 3
+    open_duration: float = 0.5
+    half_open_trials: int = 2
+    close_after: int = 1
+
+    def __post_init__(self) -> None:
+        if self.failure_threshold < 1:
+            raise ConfigurationError("failure_threshold must be >= 1")
+        if self.open_duration <= 0:
+            raise ConfigurationError("open_duration must be positive")
+        if self.half_open_trials < 1:
+            raise ConfigurationError("half_open_trials must be >= 1")
+        if not 1 <= self.close_after <= self.half_open_trials:
+            raise ConfigurationError(
+                "close_after must be in [1, half_open_trials]")
+
+
+class CircuitBreaker:
+    """One member's breaker, fed by endpoint probes and health probes."""
+
+    __slots__ = ("env", "config", "state", "failures", "opened_at",
+                 "_half_open_since", "_trials_admitted", "_trial_successes",
+                 "opens", "closes", "rejections")
+
+    def __init__(self, env: "Environment",
+                 config: BreakerConfig | None = None) -> None:
+        self.env = env
+        self.config = config or BreakerConfig()
+        self.state = BreakerState.CLOSED
+        #: Consecutive failures observed while closed.
+        self.failures = 0
+        self.opened_at = 0.0
+        self._half_open_since = 0.0
+        self._trials_admitted = 0
+        self._trial_successes = 0
+        #: Lifetime transition / rejection counters for reports.
+        self.opens = 0
+        self.closes = 0
+        self.rejections = 0
+
+    # -- read-only view (no transitions, used by candidate ranking) -------
+    def admits(self, now: float) -> bool:
+        """Whether a request arriving ``now`` could be admitted.
+
+        Side-effect free: the actual OPEN -> HALF_OPEN transition (and
+        rejection accounting) happens in :meth:`allow` on the dispatch
+        path, but the ranking filter must already see a cooled-down
+        breaker as pickable or it would never receive its trial.
+        """
+        if self.state is BreakerState.OPEN:
+            return now - self.opened_at >= self.config.open_duration
+        if self.state is BreakerState.HALF_OPEN:
+            return self._trial_available(now)
+        return True
+
+    # -- admission gate ----------------------------------------------------
+    def allow(self) -> bool:
+        """Admission decision for one request (transitions included)."""
+        if self.state is BreakerState.CLOSED:
+            return True
+        now = self.env.now
+        if self.state is BreakerState.OPEN:
+            if now - self.opened_at < self.config.open_duration:
+                self.rejections += 1
+                return False
+            self._enter_half_open(now)
+        if not self._trial_available(now):
+            self.rejections += 1
+            return False
+        self._trials_admitted += 1
+        return True
+
+    def _trial_available(self, now: float) -> bool:
+        if self._trials_admitted < self.config.half_open_trials:
+            return True
+        # Every trial of this batch was admitted but no verdict arrived
+        # (outcomes can be lost when a worker hangs on a dead member):
+        # admit a fresh batch after another open_duration.
+        return now - self._half_open_since >= self.config.open_duration
+
+    def _enter_half_open(self, now: float) -> None:
+        self.state = BreakerState.HALF_OPEN
+        self._half_open_since = now
+        self._trials_admitted = 0
+        self._trial_successes = 0
+
+    # -- outcome feed ------------------------------------------------------
+    def record_success(self) -> None:
+        """A request (or health probe) against the member succeeded."""
+        if self.state is BreakerState.HALF_OPEN:
+            self._trial_successes += 1
+            if self._trial_successes >= self.config.close_after:
+                self.state = BreakerState.CLOSED
+                self.failures = 0
+                self.closes += 1
+        elif self.state is BreakerState.CLOSED:
+            self.failures = 0
+        # Success while OPEN (a stale in-flight request): no evidence
+        # about the member *now*; ignored.
+
+    def record_failure(self) -> None:
+        """A request (or health probe) against the member failed."""
+        if self.state is BreakerState.HALF_OPEN:
+            self._open()
+        elif self.state is BreakerState.CLOSED:
+            self.failures += 1
+            if self.failures >= self.config.failure_threshold:
+                self._open()
+        # Failure while OPEN: already open, nothing to escalate.
+
+    def _open(self) -> None:
+        self.state = BreakerState.OPEN
+        self.opened_at = self.env.now
+        self.failures = 0
+        self.opens += 1
+
+    def __repr__(self) -> str:
+        return "<CircuitBreaker {} failures={} opens={}>".format(
+            self.state.value, self.failures, self.opens)

@@ -1,0 +1,135 @@
+"""Hedged requests: duplicate-after-delay, first response wins.
+
+The tail-tolerant alternative to waiting out a millibottleneck: if the
+primary dispatch has not answered within ``delay``, send a duplicate
+through the balancer (which, having marked the stalled member Busy, or
+finding its breaker open, will usually route it elsewhere) and take
+whichever copy finishes first.
+
+Cancellation is *cooperative*, mirroring how mod_jk could actually
+behave: a dispatch blocked inside ``get_endpoint`` or waiting on a
+backend's reply cannot be revoked mid-flight without leaking policy
+busyness accounting and endpoint slots, so losing attempts run to
+completion (their work is the hedging cost the chaos suite's
+``retry_amplification`` metric charges) but are told to stop *before*
+their next scheduling round via ``request.cancelled``, which
+``LoadBalancer.dispatch`` checks at the top of its retry loop.
+
+Hedge copies are :class:`~repro.workload.request.Request` clones with
+negative ids (``-id * 10 - n`` for the n-th hedge of request ``id``) so
+traces distinguish them; the client only ever sees the original
+request, onto which the winning copy's annotations are written back.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Optional
+
+from repro.errors import ConfigurationError
+from repro.sim.events import AnyOf
+from repro.workload.request import Request
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.balancer import LoadBalancer
+    from repro.sim.core import Environment
+    from repro.sim.process import Process
+
+
+@dataclass(frozen=True)
+class HedgePolicy:
+    """Hedging knobs.
+
+    ``delay`` should sit near the response-time tail knee (well above
+    the median ~20 ms, well below the 1 s VLRT threshold): hedging the
+    median request doubles load for nothing, hedging only VLRTs is too
+    late to help them.
+    """
+
+    delay: float = 0.2
+    max_hedges: int = 1
+
+    def __post_init__(self) -> None:
+        if self.delay <= 0:
+            raise ConfigurationError("delay must be positive")
+        if self.max_hedges < 1:
+            raise ConfigurationError("max_hedges must be >= 1")
+
+
+class HedgingDispatcher:
+    """Wraps a :class:`LoadBalancer` with duplicate-after-delay."""
+
+    def __init__(self, env: "Environment", inner: "LoadBalancer",
+                 policy: HedgePolicy | None = None) -> None:
+        self.env = env
+        self.inner = inner
+        self.policy = policy or HedgePolicy()
+        self.hedges_issued = 0
+        #: Requests won by a hedge copy rather than the primary.
+        self.hedge_wins = 0
+        #: Losing attempts told to stop early.
+        self.cancellations = 0
+
+    @property
+    def name(self) -> str:
+        return self.inner.name + "+hedge"
+
+    def dispatch(self, request: Request):
+        """Process generator: race the primary against delayed hedges."""
+        env = self.env
+        policy = self.policy
+        requests = [request]
+        attempts = [self._spawn(request)]
+        hedged = 0
+        winner: Optional["Process"] = None
+        try:
+            while winner is None:
+                if hedged < policy.max_hedges:
+                    timer = env.timeout(policy.delay)
+                    yield AnyOf(env, attempts + [timer])
+                    winner = self._first_done(attempts)
+                    if winner is None:
+                        # The timer fired first: issue a hedge copy.
+                        hedged += 1
+                        self.hedges_issued += 1
+                        clone = Request(
+                            env, -request.request_id * 10 - hedged,
+                            request.interaction, request.client_id)
+                        requests.append(clone)
+                        attempts.append(self._spawn(clone))
+                else:
+                    yield AnyOf(env, attempts)
+                    winner = self._first_done(attempts)
+        finally:
+            # Whether we return a winner or propagate NoCandidateError,
+            # tell still-running attempts to stop at their next
+            # scheduling round.
+            for attempt_request, attempt in zip(requests, attempts):
+                if attempt.is_alive:
+                    attempt_request.cancelled = True
+                    self.cancellations += 1
+        won = requests[attempts.index(winner)]
+        if won is not request:
+            self.hedge_wins += 1
+            request.served_by = won.served_by
+            request.dispatched_at = won.dispatched_at
+        return request  # statan: ignore[PROC003] -- process value
+
+    def _spawn(self, request: Request) -> "Process":
+        process = self.env.process(self.inner.dispatch(request))
+        # Losing attempts have no waiter once the race is decided; any
+        # late failure (e.g. NoCandidateError after the winner already
+        # answered) must not crash the kernel.  Failures that happen
+        # *during* the race still propagate through the AnyOf.
+        process.defuse()
+        return process
+
+    def _first_done(self, attempts: list["Process"]) -> Optional["Process"]:
+        for attempt in attempts:
+            if attempt.triggered and attempt.ok:
+                return attempt
+        return None
+
+    def __repr__(self) -> str:
+        return "<HedgingDispatcher {} issued={} wins={}>".format(
+            self.name, self.hedges_issued, self.hedge_wins)

@@ -1,0 +1,81 @@
+"""Client-side retry: per-attempt timeout + capped exponential backoff.
+
+The paper's clients never retry above TCP — a dropped packet is retried
+by the kernel's RTO, but a request that *reaches* a stalled server just
+waits.  :class:`RetryPolicy` adds the application-level remedy every
+production client has: bound each attempt with a deadline, then retry
+with exponentially growing, jittered, capped backoff.
+
+The caveat the chaos suite measures: retries multiply offered load
+exactly when the system is least able to absorb it.  An abandoned
+attempt keeps consuming a worker thread, a Tomcat thread and DB
+connections until it completes — the retry only *adds* work.  The
+``retry_amplification`` metric (attempts per logical request) makes
+this visible per cell.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+from repro.errors import ConfigurationError
+
+if TYPE_CHECKING:  # pragma: no cover
+    import numpy as np
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Per-request timeout and capped exponential backoff with jitter.
+
+    Parameters
+    ----------
+    request_timeout:
+        Deadline for one attempt, covering both the TCP send (including
+        kernel retransmissions) and the wait for the response.
+    max_attempts:
+        Total attempts per logical request (1 = no retries).
+    base_backoff:
+        Backoff before the first retry, seconds.
+    multiplier:
+        Exponential growth factor per further retry.
+    backoff_cap:
+        Upper bound on any single backoff.
+    jitter:
+        Fraction of the backoff randomised away: the actual wait is
+        uniform in ``[b * (1 - jitter), b * (1 + jitter)]``.  Jitter
+        breaks the synchronized retry waves that turn one stall into a
+        self-sustaining storm.
+    """
+
+    request_timeout: float = 1.5
+    max_attempts: int = 3
+    base_backoff: float = 0.05
+    multiplier: float = 2.0
+    backoff_cap: float = 0.5
+    jitter: float = 0.5
+
+    def __post_init__(self) -> None:
+        if self.request_timeout <= 0:
+            raise ConfigurationError("request_timeout must be positive")
+        if self.max_attempts < 1:
+            raise ConfigurationError("max_attempts must be >= 1")
+        if self.base_backoff < 0:
+            raise ConfigurationError("base_backoff must be >= 0")
+        if self.multiplier < 1.0:
+            raise ConfigurationError("multiplier must be >= 1.0")
+        if self.backoff_cap < self.base_backoff:
+            raise ConfigurationError("backoff_cap must be >= base_backoff")
+        if not 0.0 <= self.jitter <= 1.0:
+            raise ConfigurationError("jitter must be in [0, 1]")
+
+    def backoff_before(self, retry: int, rng: "np.random.Generator") -> float:
+        """Backoff before the ``retry``-th retry (1-based), jittered."""
+        if retry < 1:
+            raise ConfigurationError("retry index must be >= 1")
+        backoff = min(self.backoff_cap,
+                      self.base_backoff * self.multiplier ** (retry - 1))
+        if self.jitter and backoff > 0.0:
+            backoff *= 1.0 + self.jitter * (2.0 * float(rng.random()) - 1.0)
+        return backoff

@@ -17,6 +17,8 @@ float-time-eq  FLT001  ``==`` / ``!=`` between simulation timestamps
 missing-slots  SLOT001 hot-path classes under ``sim/`` without ``__slots__``
 bad-delay      NAN00x  NaN/inf/negative delay literals reaching
                        ``schedule()`` / ``timeout()``
+retry-bound    RETRY001 ``while True`` retry loops (pause + ``continue``)
+                       with no attempt cap, deadline, break, or raise
 ============== ======= ========================================================
 
 Every check here exists because its bug class silently corrupts a
@@ -36,7 +38,7 @@ from repro.statan.engine import Context, Rule, Severity
 __all__ = [
     "DeterminismRule", "ProcessProtocolRule", "ResourceSafetyRule",
     "FloatTimeComparisonRule", "MissingSlotsRule", "BadDelayRule",
-    "default_rules", "RULES",
+    "UnboundedRetryRule", "default_rules", "RULES",
 ]
 
 
@@ -558,6 +560,87 @@ class BadDelayRule(Rule):
                        "scheduled in the past")
 
 
+# -- retry loops ----------------------------------------------------------
+
+#: Waiting-call names whose yielded result marks a loop iteration as a
+#: retry pause (``yield env.timeout(backoff)`` and friends).
+_PAUSE_ATTRS = {"timeout", "sleep", "delay"}
+
+
+def _loop_level_nodes(loop: ast.While) -> Iterable[ast.AST]:
+    """Walk a loop's body without entering nested loops or functions.
+
+    ``break``/``continue`` found here bind to *this* loop; statements
+    inside a nested ``for``/``while`` bind to the inner one.
+    """
+    stack = list(loop.body) + list(loop.orelse)
+    while stack:
+        node = stack.pop()
+        if isinstance(node, _FUNCTIONS + (ast.Lambda, ast.While, ast.For)):
+            continue
+        yield node
+        stack.extend(ast.iter_child_nodes(node))
+
+
+def _is_pause_yield(node: ast.AST) -> bool:
+    return (isinstance(node, ast.Yield)
+            and isinstance(node.value, ast.Call)
+            and isinstance(node.value.func, ast.Attribute)
+            and node.value.func.attr in _PAUSE_ATTRS)
+
+
+class UnboundedRetryRule(Rule):
+    """Retry loops must be bounded by attempts or a deadline.
+
+    The resilience layer made pause-and-retry a first-class idiom
+    (``RetryPolicy.max_attempts``, the balancer's ``retry_pause``); the
+    failure mode it must never reintroduce is the unbounded variant — a
+    ``while True`` that sleeps and continues forever turns one Error-state
+    backend into an infinite in-simulation spin that no experiment
+    duration bounds, and under fault injection it holds a client (and its
+    connection slots) hostage for the rest of the run.  A loop counts as
+    a retry loop when, at its own level, it both yields a pause
+    (``env.timeout(...)``/``sleep``/``delay``) and executes ``continue``;
+    it is bounded when that level also has a ``break``, ``raise``, or
+    ``return``, or when the loop test itself can go false.
+    """
+
+    id = "retry-bound"
+    description = "while-True retry loop with no attempt cap or deadline"
+    codes = ("RETRY001",)
+
+    def make_visitor(self, ctx: Context) -> ast.NodeVisitor:
+        rule = self
+
+        class Visitor(ast.NodeVisitor):
+            def visit_While(self, node: ast.While) -> None:
+                rule._check(ctx, node)
+                self.generic_visit(node)
+
+        return Visitor()
+
+    def _check(self, ctx: Context, loop: ast.While) -> None:
+        # Only `while True:` can spin forever on continue alone; any
+        # real test is itself the bound.
+        if not (isinstance(loop.test, ast.Constant)
+                and loop.test.value is True):
+            return
+        has_pause = has_continue = False
+        for node in _loop_level_nodes(loop):
+            if isinstance(node, (ast.Break, ast.Raise, ast.Return)):
+                return
+            if _is_pause_yield(node):
+                has_pause = True
+            elif isinstance(node, ast.Continue):
+                has_continue = True
+        if has_pause and has_continue:
+            ctx.report(loop, "RETRY001", self.id, Severity.WARNING,
+                       "unbounded retry loop: 'while True' pauses and "
+                       "continues with no attempt cap, deadline, break, "
+                       "or raise on any path; bound it like "
+                       "RetryPolicy.max_attempts does")
+
+
 #: The default ruleset, in reporting order.
 RULES: tuple[Rule, ...] = (
     DeterminismRule(),
@@ -566,6 +649,7 @@ RULES: tuple[Rule, ...] = (
     FloatTimeComparisonRule(),
     MissingSlotsRule(),
     BadDelayRule(),
+    UnboundedRetryRule(),
 )
 
 

@@ -20,6 +20,7 @@ from repro.workload.mix import WorkloadMix
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.netmodel.sockets import ListenSocket
+    from repro.resilience.retry import RetryPolicy
     from repro.sim.core import Environment
 
 
@@ -45,6 +46,10 @@ class ClientPopulation:
     ramp_up:
         Client start times are spread uniformly over this many seconds
         so the system does not see a synchronized thundering herd.
+    retry:
+        Optional application-level retry policy (see
+        :class:`~repro.resilience.retry.RetryPolicy`); ``None`` keeps
+        the paper's non-retrying clients.
     """
 
     def __init__(self, env: "Environment",
@@ -54,7 +59,8 @@ class ClientPopulation:
                  rng: np.random.Generator,
                  think_time: float = DEFAULT_THINK_TIME,
                  retransmission: RetransmissionPolicy | None = None,
-                 ramp_up: float = 1.0) -> None:
+                 ramp_up: float = 1.0,
+                 retry: "RetryPolicy | None" = None) -> None:
         if not sockets:
             raise ConfigurationError("need at least one web-tier socket")
         if total_clients < 1:
@@ -79,6 +85,7 @@ class ClientPopulation:
                 think_time=think_time,
                 sender=self.sender,
                 start_delay=start_delay,
+                retry=retry,
             ))
 
     def __len__(self) -> int:
@@ -91,6 +98,16 @@ class ClientPopulation:
     @property
     def requests_abandoned(self) -> int:
         return sum(client.requests_abandoned for client in self.clients)
+
+    @property
+    def attempts_issued(self) -> int:
+        """Attempts sent across all clients (retries included)."""
+        return sum(client.attempts_issued for client in self.clients)
+
+    @property
+    def retries_issued(self) -> int:
+        """Application-level retries beyond each request's first attempt."""
+        return sum(client.retries_issued for client in self.clients)
 
     @property
     def packets_dropped(self) -> int:

@@ -24,7 +24,7 @@ class Request:
     __slots__ = (
         "request_id", "interaction", "client_id", "created_at",
         "completion", "retransmissions", "served_by", "accepted_at",
-        "dispatched_at", "completed_at",
+        "dispatched_at", "completed_at", "cancelled",
     )
 
     def __init__(self, env: "Environment", request_id: int,
@@ -45,6 +45,10 @@ class Request:
         self.dispatched_at: Optional[float] = None
         #: When the response reached the client.
         self.completed_at: Optional[float] = None
+        #: Cooperative-cancellation flag: a hedging race that has
+        #: already been won sets this so the losing dispatch stops at
+        #: its next retry round instead of re-entering the balancer.
+        self.cancelled = False
 
     @property
     def traffic_bytes(self) -> int:

@@ -193,6 +193,60 @@ class TestBusyHandling:
         assert p.value == "tomcat1"
         assert balancer.members[0].state is MemberState.AVAILABLE
 
+    def test_error_reprobe_failure_keeps_member_in_error(self):
+        """§IV-A re-probe path: after error_recovery an Error member is
+        probed again, and a *failed* probe leaves it in Error (no bounce
+        through Busy) while the request proceeds on a survivor.  Round
+        robin guarantees the dead member is probed exactly once before
+        the cursor moves on."""
+        from repro.core import RoundRobinPolicy
+
+        env = Environment()
+        backends = make_backends(env, count=2)
+        backends[0].crash()
+        balancer = make_balancer(
+            env, backends=backends, policy=RoundRobinPolicy(),
+            state_config=StateConfig(error_recovery=0.5))
+        balancer.members[0].mark_error()
+
+        def proc(env):
+            yield env.timeout(1.0)  # recovery window elapsed
+            request = Request(env, 1, get_interaction("ViewStory"), 0)
+            yield from balancer.dispatch(request)
+            return request.served_by
+
+        p = env.process(proc(env))
+        env.run()
+        # The dead member was eligible for a re-probe, the probe failed,
+        # and it stayed Error instead of bouncing through Busy.
+        assert balancer.members[0].state is MemberState.ERROR
+        assert p.value == "tomcat2"
+
+    def test_error_reprobe_success_after_backend_recovers(self):
+        env = Environment()
+        backends = make_backends(env, count=1)
+        backends[0].crash()
+        balancer = make_balancer(
+            env, backends=backends,
+            state_config=StateConfig(error_recovery=0.5))
+        balancer.members[0].mark_error()
+
+        def revive(env):
+            yield env.timeout(2.0)
+            backends[0].recover()
+
+        def proc(env):
+            yield env.timeout(3.0)
+            request = Request(env, 1, get_interaction("ViewStory"), 0)
+            yield from balancer.dispatch(request)
+            return request.served_by
+
+        env.process(revive(env))
+        p = env.process(proc(env))
+        env.run()
+        assert p.value == "tomcat1"
+        assert balancer.members[0].state is MemberState.AVAILABLE
+
     def test_repeated_busy_escalates_to_error_and_no_candidate(self):
         env = Environment()
         backends = make_backends(env, count=1)

@@ -278,6 +278,79 @@ class TestBadDelayRule:
         """) == []
 
 
+# -- retry loops ----------------------------------------------------------
+
+class TestUnboundedRetryRule:
+    def test_pause_and_continue_forever_fires(self):
+        assert "RETRY001" in codes("""
+            def dispatch(self, request):
+                while True:
+                    member = self._pick()
+                    if member is None:
+                        yield self.env.timeout(self.pause)
+                        continue
+                    yield member.send(request)
+        """)
+
+    def test_raise_on_exhaustion_is_clean(self):
+        assert codes("""
+            def dispatch(self, request):
+                while True:
+                    member = self._pick()
+                    if member is None:
+                        if self.env.now > request.deadline:
+                            raise NoCandidateError(request)
+                        yield self.env.timeout(self.pause)
+                        continue
+                    yield member.send(request)
+        """) == []
+
+    def test_break_is_clean(self):
+        assert codes("""
+            def probe(self):
+                while True:
+                    if self.target.responsive:
+                        break
+                    yield self.env.timeout(self.interval)
+                    continue
+        """) == []
+
+    def test_bounded_for_loop_is_clean(self):
+        assert codes("""
+            def send(self, packet):
+                for attempt in range(self.max_retries):
+                    yield self.env.timeout(self.rto)
+                    continue
+        """) == []
+
+    def test_real_loop_condition_is_clean(self):
+        assert codes("""
+            def drain(self, queue):
+                while queue.pending:
+                    yield self.env.timeout(0.05)
+                    continue
+        """) == []
+
+    def test_inner_loop_break_does_not_bound_outer(self):
+        assert "RETRY001" in codes("""
+            def forward(self):
+                while True:
+                    for item in self.batch:
+                        if item.done:
+                            break
+                    yield self.env.timeout(0.1)
+                    continue
+        """)
+
+    def test_service_loop_without_continue_is_clean(self):
+        assert codes("""
+            def run(self):
+                while True:
+                    yield self.env.timeout(self.think_time)
+                    yield from self.issue()
+        """) == []
+
+
 # -- engine behaviour -----------------------------------------------------
 
 class TestSuppressions:
@@ -365,7 +438,7 @@ class TestEngine:
 
     def test_every_rule_has_id_and_codes(self):
         ids = [rule.id for rule in RULES]
-        assert len(ids) == len(set(ids)) == 6
+        assert len(ids) == len(set(ids)) == 7
         for rule in RULES:
             assert rule.codes, rule.id
             assert rule.description, rule.id

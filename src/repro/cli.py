@@ -8,6 +8,7 @@ Subcommands::
     repro-lb replicate table1/current_load --runs 8 --workers 4
     repro-lb statan src/repro             # simulation lint (see DESIGN.md)
     repro-lb chaos --faults crash,slow --remedies none,full
+    repro-lb trace run/original_total_request --slowest 3
 """
 
 from __future__ import annotations
@@ -143,6 +144,35 @@ def _cmd_statan(args: argparse.Namespace) -> int:
     return 1 if result.findings else 0
 
 
+def _cmd_trace(args: argparse.Namespace) -> int:
+    import json
+    from dataclasses import replace
+
+    from repro.tracing import trace_report, write_chrome_trace
+
+    config = Scenario.named(args.scenario)
+    if args.duration is not None:
+        config = replace(config, duration=args.duration)
+    if args.seed is not None:
+        config = replace(config, seed=args.seed)
+    config = replace(config, trace_requests=True)
+    result = ExperimentRunner(config).run()
+    print(result.summary())
+    explanation = result.explain_vlrt()
+    print()
+    print(explanation.render())
+    if args.chrome is not None:
+        path = write_chrome_trace(result.traces(), args.chrome)
+        print("chrome trace written to {}".format(path))
+    if args.json:
+        print(json.dumps(explanation.to_dict(), indent=2))
+    slowest = result.slowest_traces(args.slowest)
+    for trace in slowest:
+        print()
+        print(trace_report(trace))
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro-lb",
@@ -234,12 +264,39 @@ def build_parser() -> argparse.ArgumentParser:
                         choices=("info", "warning", "error"),
                         help="report findings at or above this severity")
     statan.set_defaults(func=_cmd_statan)
+
+    trace = sub.add_parser(
+        "trace",
+        help="run a scenario with request tracing and explain VLRTs",
+        description="Record one span tree per request, decompose the "
+                    "critical path of each, group VLRT requests by "
+                    "dominant cause, and print reports for the "
+                    "slowest requests.")
+    trace.add_argument("scenario", help="scenario key (see 'list')")
+    trace.add_argument("--duration", type=float, default=None)
+    trace.add_argument("--seed", type=int, default=None)
+    trace.add_argument("--slowest", type=int, default=5, metavar="N",
+                       help="print span trees of the N slowest "
+                            "requests (default 5)")
+    trace.add_argument("--chrome", default=None, metavar="PATH",
+                       help="also write a Chrome trace-event JSON file "
+                            "(open in chrome://tracing or Perfetto)")
+    trace.add_argument("--json", action="store_true",
+                       help="also dump the VLRT explanation as JSON")
+    trace.set_defaults(func=_cmd_trace)
     return parser
 
 
 def main(argv: list[str] | None = None) -> int:
-    args = build_parser().parse_args(argv)
-    return args.func(args)
+    from repro.errors import ConfigurationError
+
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except ConfigurationError as exc:
+        print("repro-lb: error: {}".format(exc), file=sys.stderr)
+        return 2
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -31,6 +31,7 @@ from repro.netmodel.tcp import RetransmissionPolicy
 from repro.resilience import ResilienceConfig
 from repro.sim.core import Environment
 from repro.sim.monitor import Sampler
+from repro.tracing.spans import SpanTracer
 from repro.workload.generator import ClientPopulation
 from repro.workload.mix import WorkloadMix, read_write_mix
 
@@ -66,6 +67,10 @@ class ExperimentConfig:
     faults: tuple["FaultSpec", ...] = ()
     #: Remedy layer configuration; ``None`` is the seed system.
     resilience: Optional[ResilienceConfig] = None
+    #: Record a per-request span tree (see :mod:`repro.tracing`).
+    #: Off by default: tracing is pure observation (the event schedule
+    #: is identical either way) but retains every span in memory.
+    trace_requests: bool = False
 
     def __post_init__(self) -> None:
         if self.duration <= 0:
@@ -91,6 +96,8 @@ class ExperimentResult:
     dirty_series: dict[str, TimeSeries]
     #: Ground-truth fault records for the run (``None`` when faultless).
     fault_injector: Optional[FaultInjector] = None
+    #: Per-request span tracer (``None`` unless ``trace_requests``).
+    tracer: Optional["SpanTracer"] = None
 
     # -- response times --------------------------------------------------
     @property
@@ -141,6 +148,26 @@ class ExperimentResult:
     def dropped_packets(self) -> int:
         """Client packets lost to web-tier accept-queue overflow."""
         return sum(apache.socket.dropped for apache in self.system.apaches)
+
+    # -- per-request traces -------------------------------------------------
+    def traces(self) -> list:
+        """All request traces, in begin order (requires tracing)."""
+        if self.tracer is None:
+            raise ConfigurationError(
+                "run with trace_requests=True to record request traces")
+        return list(self.tracer.traces.values())
+
+    def slowest_traces(self, count: int = 5) -> list:
+        """The ``count`` slowest completed requests' traces."""
+        completed = [trace for trace in self.traces() if trace.completed]
+        completed.sort(key=lambda trace: -trace.duration)
+        return completed[:count]
+
+    def explain_vlrt(self):
+        """Trace-level VLRT explanation (dominant causes + clusters)."""
+        from repro.tracing.explain import explain_vlrt
+
+        return explain_vlrt(self.traces())
 
     # -- chaos metrics -----------------------------------------------------
     def error_responses(self) -> int:
@@ -217,6 +244,10 @@ class ExperimentRunner:
         config = self.config
         if env is None:
             env = Environment()
+        tracer = None
+        if config.trace_requests:
+            tracer = SpanTracer(env)
+            env.tracer = tracer
         rng = np.random.default_rng(config.seed)
         profile = config.profile
 
@@ -275,6 +306,8 @@ class ExperimentRunner:
             }
 
         env.run(until=config.duration)
+        if tracer is not None:
+            tracer.finalize()
 
         return ExperimentResult(
             config=config,
@@ -282,6 +315,7 @@ class ExperimentRunner:
             population=population,
             duration=config.duration,
             fault_injector=fault_injector,
+            tracer=tracer,
             queue_series={
                 name: TimeSeries.from_arrays(*sampler.series(), name=name)
                 for name, sampler in queue_samplers.items()

@@ -159,38 +159,81 @@ class LoadBalancer:
 
         Raises :class:`NoCandidateError` when every backend is Error.
         """
-        while True:
-            if request.cancelled:
-                # A hedging race this request belonged to is already
-                # decided; stop instead of re-entering the scheduler.
+        tracer = self.env.tracer
+        span = (tracer.start(request.request_id, "balancer.dispatch",
+                             balancer=self.name)
+                if tracer is not None else None)
+        try:
+            while True:
+                if request.cancelled:
+                    # A hedging race this request belonged to is already
+                    # decided; stop instead of re-entering the scheduler.
+                    if tracer is not None:
+                        tracer.finish(span, outcome="cancelled")
+                    return request  # statan: ignore[PROC003] -- process value
+                member = self._pick()
+                if member is None:
+                    raise NoCandidateError(
+                        "{}: all backends in Error state".format(self.name))
+                breaker = member.breaker
+                if breaker is not None and not breaker.allow():
+                    # Open breaker: instant rejection with no
+                    # state-machine penalty — the breaker is already
+                    # doing the excluding, and mark_busy() here would
+                    # escalate a member toward Error merely for being
+                    # breaker-open.
+                    self.breaker_rejections += 1
+                    if tracer is None:
+                        yield self.env.timeout(self.config.retry_pause)
+                    else:
+                        pause = tracer.start(request.request_id,
+                                             "balancer.breaker_pause",
+                                             member=member.name)
+                        yield self.env.timeout(self.config.retry_pause)
+                        tracer.finish(pause)
+                    continue
+                self.policy.on_pick(member, request)
+                if self.pick_trace is not None:
+                    self.pick_trace.log(member.name)
+                if tracer is None:
+                    endpoint = yield from self.mechanism.get_endpoint(
+                        member)
+                else:
+                    # The decision span: which member the policy chose,
+                    # and how long the worker then waited for one of
+                    # its endpoints (the §IV-B funnel, mod_jk's
+                    # cache_acquire_timeout poll loop).
+                    wait = tracer.start(request.request_id,
+                                        "balancer.endpoint_wait",
+                                        member=member.name)
+                    endpoint = yield from self.mechanism.get_endpoint(
+                        member)
+                    tracer.finish(wait, acquired=endpoint is not None)
+                if endpoint is None:
+                    # §IV-A: failing to return an endpoint moves the
+                    # member toward Busy (and eventually Error).
+                    self.policy.on_pick_abandoned(member, request)
+                    member.mark_busy()
+                    self.endpoint_failures += 1
+                    if tracer is None:
+                        yield self.env.timeout(self.config.retry_pause)
+                    else:
+                        pause = tracer.start(request.request_id,
+                                             "balancer.retry_pause",
+                                             member=member.name)
+                        yield self.env.timeout(self.config.retry_pause)
+                        tracer.finish(pause)
+                    continue
+                yield from self._send(member, endpoint, request)
+                if tracer is not None:
+                    tracer.finish(span, outcome="dispatched",
+                                  member=member.name)
                 return request  # statan: ignore[PROC003] -- process value
-            member = self._pick()
-            if member is None:
-                raise NoCandidateError(
-                    "{}: all backends in Error state".format(self.name))
-            breaker = member.breaker
-            if breaker is not None and not breaker.allow():
-                # Open breaker: instant rejection with no state-machine
-                # penalty — the breaker is already doing the excluding,
-                # and mark_busy() here would escalate a member toward
-                # Error merely for being breaker-open.
-                self.breaker_rejections += 1
-                yield self.env.timeout(self.config.retry_pause)
-                continue
-            self.policy.on_pick(member, request)
-            if self.pick_trace is not None:
-                self.pick_trace.log(member.name)
-            endpoint = yield from self.mechanism.get_endpoint(member)
-            if endpoint is None:
-                # §IV-A: failing to return an endpoint moves the member
-                # toward Busy (and eventually Error).
-                self.policy.on_pick_abandoned(member, request)
-                member.mark_busy()
-                self.endpoint_failures += 1
-                yield self.env.timeout(self.config.retry_pause)
-                continue
-            yield from self._send(member, endpoint, request)
-            return request  # statan: ignore[PROC003] -- process value
+        finally:
+            # Normally closed above; an interrupt, a NoCandidateError
+            # or a fault unwinding the worker closes it here instead.
+            if tracer is not None:
+                tracer.finish(span, outcome="error")
 
     def _send(self, member: BalancerMember, endpoint, request: Request):
         # A successful acquisition is proof of life.
@@ -203,11 +246,17 @@ class LoadBalancer:
         if self.dispatch_trace is not None:
             self.dispatch_trace.log(member.name)
         self.policy.on_dispatch(member, request)
+        tracer = self.env.tracer
+        span = (tracer.start(request.request_id, "balancer.send",
+                             member=member.name)
+                if tracer is not None else None)
         try:
             yield from member.send(request)
         finally:
             member.inflight -= 1
             endpoint.release()
+            if tracer is not None:
+                tracer.finish(span)
         member.completed += 1
         self.policy.on_complete(member, request)
 
@@ -277,9 +326,17 @@ class DirectDispatcher:
         self.dispatches += 1
         request.served_by = self.backend.name
         request.dispatched_at = self.env.now
+        tracer = self.env.tracer
+        span = (tracer.start(request.request_id, "balancer.send",
+                             member=self.backend.name, direct=True)
+                if tracer is not None else None)
         reply: Event = Event(self.env)
-        yield self.link.delay()
-        self.backend.submit(request, reply)
-        yield reply
-        yield self.link.delay()
+        try:
+            yield self.link.delay()
+            self.backend.submit(request, reply)
+            yield reply
+            yield self.link.delay()
+        finally:
+            if tracer is not None:
+                tracer.finish(span)
         return request  # statan: ignore[PROC003] -- process value

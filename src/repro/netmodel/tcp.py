@@ -85,6 +85,9 @@ class TcpSender:
         send is accepted).  Raises :class:`GaveUp` when the policy's
         retry budget is exhausted.
         """
+        tracer = self.env.tracer
+        request_id = (getattr(item, "request_id", None)
+                      if tracer is not None else None)
         for attempt in range(self.policy.max_retries + 1):
             self.packets_sent += 1
             impairment = socket.impairment
@@ -99,11 +102,28 @@ class TcpSender:
                     yield self.env.timeout(impairment.extra_latency)
                 accepted = socket.offer(item)
             if accepted:
+                if request_id is not None:
+                    # The packet now sits in the kernel accept queue;
+                    # the web-tier worker that dequeues it closes this.
+                    tracer.start_named(request_id, "apache.queue_wait",
+                                       socket=socket.name)
                 return attempt  # statan: ignore[PROC003] -- process value
             self.packets_dropped += 1
             if attempt == self.policy.max_retries:
                 break
-            yield self.env.timeout(self.policy.rto_after(attempt))
+            rto = self.policy.rto_after(attempt)
+            if request_id is None:
+                yield self.env.timeout(rto)
+            else:
+                span = tracer.start(request_id, "tcp.retransmit_wait",
+                                    attempt=attempt + 1, rto=rto)
+                try:
+                    yield self.env.timeout(rto)
+                finally:
+                    # Closed here on the normal path; on an interrupt
+                    # (a retrying client's attempt deadline) the span
+                    # still ends at the moment the wait was cut short.
+                    tracer.finish(span)
         self.gave_up += 1
         raise GaveUp("request dropped {} times".format(
             self.policy.max_retries + 1))

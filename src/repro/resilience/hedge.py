@@ -95,6 +95,19 @@ class HedgingDispatcher:
                         clone = Request(
                             env, -request.request_id * 10 - hedged,
                             request.interaction, request.client_id)
+                        tracer = env.tracer
+                        if tracer is not None:
+                            # The clone gets its own trace (it is its
+                            # own dispatch); the primary's trace just
+                            # marks the decision point.
+                            tracer.begin(clone.request_id,
+                                         interaction=(
+                                             request.interaction.name),
+                                         client=request.client_id,
+                                         hedge_of=request.request_id)
+                            tracer.instant(request.request_id,
+                                           "hedge.issued",
+                                           clone=clone.request_id)
                         requests.append(clone)
                         attempts.append(self._spawn(clone))
                 else:
@@ -113,6 +126,12 @@ class HedgingDispatcher:
             self.hedge_wins += 1
             request.served_by = won.served_by
             request.dispatched_at = won.dispatched_at
+            tracer = env.tracer
+            if tracer is not None:
+                tracer.instant(request.request_id, "hedge.win",
+                               clone=won.request_id)
+                tracer.end(won.request_id, status="ok",
+                           served_by=won.served_by)
         return request  # statan: ignore[PROC003] -- process value
 
     def _spawn(self, request: Request) -> "Process":

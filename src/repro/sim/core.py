@@ -70,7 +70,8 @@ class Environment:
         Clock value at the start of the simulation (seconds).
     """
 
-    __slots__ = ("_now", "_queue", "_eid", "_active_process", "trace")
+    __slots__ = ("_now", "_queue", "_eid", "_active_process", "trace",
+                 "tracer")
 
     def __init__(self, initial_time: float = 0.0) -> None:
         self._now = float(initial_time)
@@ -80,6 +81,11 @@ class Environment:
         #: Optional probe called as ``trace(time, event)`` for every
         #: event processed.  ``None`` (the default) is zero-cost.
         self.trace: Optional[Callable[[float, Event], None]] = None
+        #: Optional per-request span tracer (see :mod:`repro.tracing`).
+        #: The kernel never reads it — model components check it with a
+        #: single ``is not None`` guard, so ``None`` (the default) is
+        #: zero-cost and the tracer itself schedules no events.
+        self.tracer: Optional[Any] = None
 
     # -- introspection ---------------------------------------------------
     @property

@@ -72,10 +72,19 @@ class ApacheServer(TierServer):
             request = yield self.socket.accept()
             request.accepted_at = self.env.now
             self._busy_workers += 1
+            tracer = self.env.tracer
+            span = None
+            if tracer is not None:
+                tracer.finish_named(request.request_id,
+                                    "apache.queue_wait")
+                span = tracer.start(request.request_id, "apache.service",
+                                    server=self.name)
             try:
                 yield from self._handle(request)
             finally:
                 self._busy_workers -= 1
+                if tracer is not None:
+                    tracer.finish(span)
 
     def _handle(self, request: Request):
         interaction = request.interaction
@@ -86,6 +95,9 @@ class ApacheServer(TierServer):
             # Every backend is in the Error state: return a 503.  The
             # client still receives a (fast, useless) response.
             self.error_responses += 1
+            tracer = self.env.tracer
+            if tracer is not None:
+                tracer.instant(request.request_id, "apache.error_503")
             request.completion.succeed(request)
             return
         yield from self.host.execute(interaction.apache_cpu * 0.5)

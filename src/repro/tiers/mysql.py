@@ -44,11 +44,27 @@ class MySqlServer(TierServer):
         interaction = request.interaction
         if interaction.db_queries == 0:
             return
-        with self.connections.request() as connection:
-            yield connection
-            for _ in range(interaction.db_queries):
-                yield from self.host.execute(interaction.mysql_cpu)
-                self.queries_executed += 1
+        tracer = self.env.tracer
+        pool_span = (tracer.start(request.request_id, "mysql.pool_wait",
+                                  server=self.name)
+                     if tracer is not None else None)
+        service_span = None
+        try:
+            with self.connections.request() as connection:
+                yield connection
+                if tracer is not None:
+                    tracer.finish(pool_span)
+                    service_span = tracer.start(
+                        request.request_id, "mysql.service",
+                        server=self.name,
+                        queries=interaction.db_queries)
+                for _ in range(interaction.db_queries):
+                    yield from self.host.execute(interaction.mysql_cpu)
+                    self.queries_executed += 1
+        finally:
+            if tracer is not None:
+                tracer.finish(pool_span)
+                tracer.finish(service_span)
         self.requests_completed += 1
         self.bytes_served += interaction.traffic_bytes
 

@@ -55,12 +55,23 @@ class TomcatServer(TierServer):
         Non-blocking: the kernel buffers the message even when every
         worker thread is frozen by a millibottleneck.
         """
+        tracer = self.env.tracer
+        if tracer is not None:
+            tracer.start_named(request.request_id, "tomcat.queue_wait",
+                               server=self.name)
         self.jobs.put((request, reply))
 
     def _worker(self):
         while True:
             request, reply = yield self.jobs.get()
             self._busy_threads += 1
+            tracer = self.env.tracer
+            span = None
+            if tracer is not None:
+                tracer.finish_named(request.request_id,
+                                    "tomcat.queue_wait")
+                span = tracer.start(request.request_id, "tomcat.service",
+                                    server=self.name)
             try:
                 interaction = request.interaction
                 yield from self.host.execute(
@@ -76,6 +87,8 @@ class TomcatServer(TierServer):
                 reply.succeed(request)
             finally:
                 self._busy_threads -= 1
+                if tracer is not None:
+                    tracer.finish(span)
 
     # -- observability -------------------------------------------------------
     @property

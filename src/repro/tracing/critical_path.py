@@ -1,0 +1,129 @@
+"""Critical-path decomposition: where each request's latency went.
+
+Every span name maps to a named latency *bucket*; a request's
+end-to-end response time is attributed to buckets by **self time** —
+each span contributes its duration minus the time covered by its
+children, so the bucket sums reconstruct the root span's duration
+exactly (to float rounding).  This is the per-request version of the
+paper's Figure 2-4 argument: a 3.007 s VLRT request decomposes into
+~3 s of retransmission backoff plus milliseconds of actual work.
+
+Spans are clipped to their parent's interval before attribution:
+ghost work that outlives the client-visible request (an abandoned
+attempt still being served, a cancelled hedge attempt winding down)
+does not inflate the client-facing decomposition.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.tracing.spans import RequestTrace, Span
+
+__all__ = ["BUCKET_OF_SPAN", "QUEUE_WAIT_BUCKETS", "VLRT_CAUSE_BUCKETS",
+           "CriticalPath", "decompose"]
+
+#: Span name -> latency bucket.  Unknown span names fall into "other".
+BUCKET_OF_SPAN: dict[str, str] = {
+    "request": "other",
+    "tcp.retransmit_wait": "retransmission",
+    "apache.queue_wait": "queue_wait.apache",
+    "apache.service": "service.apache",
+    "balancer.dispatch": "balancer.other",
+    "balancer.pick": "balancer.other",
+    "balancer.endpoint_wait": "endpoint_wait",
+    "balancer.retry_pause": "balancer.backoff",
+    "balancer.breaker_pause": "balancer.backoff",
+    "balancer.send": "network",
+    "tomcat.queue_wait": "queue_wait.tomcat",
+    "tomcat.service": "service.tomcat",
+    "mysql.pool_wait": "queue_wait.mysql",
+    "mysql.service": "service.mysql",
+    "hedge.issued": "balancer.other",
+    "hedge.win": "balancer.other",
+}
+
+#: Buckets that are queue wait somewhere in the stack.  The balancer's
+#: endpoint wait is a queue in all but name: worker threads queueing on
+#: the stalled backend's connection pool (the §IV-B funnel).
+QUEUE_WAIT_BUCKETS = frozenset((
+    "queue_wait.apache", "queue_wait.tomcat", "queue_wait.mysql",
+    "endpoint_wait",
+))
+
+#: The paper's two VLRT mechanisms: TCP retransmission after a drop,
+#: and queue wait behind a millibottleneck (§III).
+VLRT_CAUSE_BUCKETS = frozenset(("retransmission",)) | QUEUE_WAIT_BUCKETS
+
+
+@dataclass
+class CriticalPath:
+    """One request's latency, attributed to named buckets."""
+
+    request_id: int
+    total: float
+    buckets: dict[str, float] = field(default_factory=dict)
+
+    @property
+    def dominant(self) -> str:
+        """The bucket that explains the largest share of the latency."""
+        if not self.buckets:
+            return "other"
+        return max(self.buckets, key=lambda key: (self.buckets[key], key))
+
+    def fraction(self, bucket: str) -> float:
+        if self.total <= 0.0:
+            return 0.0
+        return self.buckets.get(bucket, 0.0) / self.total
+
+    def row(self) -> dict[str, float]:
+        """Flat dict for tabular export (bucket seconds + total)."""
+        row = {"request_id": self.request_id, "total": self.total,
+               "dominant": self.dominant}
+        row.update(self.buckets)
+        return row
+
+    def __repr__(self) -> str:
+        return "<CriticalPath #{} {:.3f}s dominant={}>".format(
+            self.request_id, self.total, self.dominant)
+
+
+def decompose(trace: "RequestTrace") -> CriticalPath:
+    """Attribute ``trace``'s end-to-end latency to buckets by self time.
+
+    Requires a finalized trace (every span closed).  The invariant the
+    trace-structure golden test pins: ``sum(path.buckets.values())``
+    equals ``trace.duration`` to float tolerance.
+    """
+    buckets: dict[str, float] = {}
+    root = trace.root
+    _accumulate(root, root.start,
+                root.start if root.end is None else root.end, buckets)
+    return CriticalPath(request_id=trace.request_id,
+                        total=root.duration, buckets=buckets)
+
+
+def _accumulate(span: "Span", lo: float, hi: float,
+                buckets: dict[str, float]) -> float:
+    """Add ``span``'s self time to its bucket; return its clipped span.
+
+    ``[lo, hi]`` is the parent's effective interval; a child is only
+    credited for the part of its life inside it.
+    """
+    start = span.start if span.start > lo else lo
+    end = hi if span.end is None or span.end > hi else span.end
+    if end <= start:
+        return 0.0
+    covered = 0.0
+    for child in span.children:
+        covered += _accumulate(child, start, end, buckets)
+    self_time = (end - start) - covered
+    if self_time < 0.0:
+        # Siblings overlapped (concurrent hops); the parent cannot be
+        # charged negative time.
+        self_time = 0.0
+    bucket = BUCKET_OF_SPAN.get(span.name, "other")
+    buckets[bucket] = buckets.get(bucket, 0.0) + self_time
+    return end - start

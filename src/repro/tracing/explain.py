@@ -1,0 +1,132 @@
+"""VLRT explainer: group very-long-response-time requests by cause.
+
+The paper's Figure 4 observation — VLRT response times cluster at 1 s,
+2 s and 3 s, the multiples of the TCP minimum RTO — is reproduced here
+from trace data alone: for each completed request slower than the VLRT
+threshold, the critical-path decomposition names the dominant latency
+bucket, and requests dominated by retransmission backoff are clustered
+by how many full timer periods they absorbed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Iterable, Optional
+
+from repro.metrics.stats import VLRT_THRESHOLD
+from repro.tracing.critical_path import (
+    VLRT_CAUSE_BUCKETS,
+    CriticalPath,
+    decompose,
+)
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.tracing.spans import RequestTrace
+
+__all__ = ["VlrtExplanation", "explain_vlrt"]
+
+
+@dataclass
+class VlrtExplanation:
+    """Why the run's VLRT requests were slow, per trace evidence."""
+
+    total_requests: int
+    vlrt_count: int
+    threshold: float
+    rto: float
+    #: Dominant bucket -> number of VLRT requests it explains.
+    by_cause: dict[str, int] = field(default_factory=dict)
+    #: Retransmission cluster (in RTO multiples) -> request count:
+    #: ``{1: ..., 2: ..., 3: ...}`` is the paper's Fig. 4 clustering.
+    clusters: dict[int, int] = field(default_factory=dict)
+    #: Critical paths of the VLRT requests, slowest first.
+    paths: list[CriticalPath] = field(default_factory=list)
+
+    @property
+    def explained_fraction(self) -> float:
+        """Fraction of VLRT requests whose dominant bucket is one of
+        the paper's two mechanisms (retransmission, queue wait)."""
+        if self.vlrt_count == 0:
+            return 1.0
+        explained = sum(count for cause, count in self.by_cause.items()
+                        if cause in VLRT_CAUSE_BUCKETS)
+        return explained / self.vlrt_count
+
+    def render(self) -> str:
+        """Human-readable report."""
+        lines = [
+            "VLRT explainer: {} of {} completed requests > {:.0f} ms"
+            .format(self.vlrt_count, self.total_requests,
+                    1000 * self.threshold),
+        ]
+        if self.vlrt_count == 0:
+            lines.append("  (nothing to explain)")
+            return "\n".join(lines)
+        lines.append("  dominant cause:")
+        for cause in sorted(self.by_cause,
+                            key=lambda key: -self.by_cause[key]):
+            count = self.by_cause[cause]
+            lines.append("    {:<20s} {:>5d}  ({:.1f}%)".format(
+                cause, count, 100.0 * count / self.vlrt_count))
+        lines.append("  attributed to retransmission/queue wait: "
+                     "{:.1f}%".format(100.0 * self.explained_fraction))
+        if self.clusters:
+            lines.append("  retransmission clusters (x RTO = {:.1f} s):"
+                         .format(self.rto))
+            for multiple in sorted(self.clusters):
+                lines.append("    ~{:.0f} s: {} requests".format(
+                    multiple * self.rto, self.clusters[multiple]))
+        return "\n".join(lines)
+
+    def to_dict(self) -> dict:
+        """JSON-ready summary (paths trimmed to their rows)."""
+        return {
+            "total_requests": self.total_requests,
+            "vlrt_count": self.vlrt_count,
+            "threshold": self.threshold,
+            "rto": self.rto,
+            "by_cause": dict(self.by_cause),
+            "clusters": {str(key): value
+                         for key, value in sorted(self.clusters.items())},
+            "explained_fraction": self.explained_fraction,
+            "paths": [path.row() for path in self.paths],
+        }
+
+
+def explain_vlrt(traces: Iterable["RequestTrace"],
+                 threshold: float = VLRT_THRESHOLD,
+                 rto: float = 1.0,
+                 paths: Optional[list[CriticalPath]] = None
+                 ) -> VlrtExplanation:
+    """Explain every completed VLRT request in ``traces``.
+
+    ``rto`` is the client retransmission timer used to bucket the
+    retransmission clusters; pass the run's
+    :attr:`~repro.netmodel.tcp.RetransmissionPolicy.initial_rto`.
+    ``paths`` (normally omitted) lets a caller reuse pre-computed
+    decompositions.
+    """
+    completed = [trace for trace in traces if trace.completed]
+    if paths is None:
+        paths = [decompose(trace) for trace in completed
+                 if trace.duration > threshold]
+    by_cause: dict[str, int] = {}
+    clusters: dict[int, int] = {}
+    for path in paths:
+        cause = path.dominant
+        by_cause[cause] = by_cause.get(cause, 0) + 1
+        retrans = path.buckets.get("retransmission", 0.0)
+        if retrans >= 0.5 * rto:
+            multiple = int(round(retrans / rto))
+            if multiple > 0:
+                clusters[multiple] = clusters.get(multiple, 0) + 1
+    paths.sort(key=lambda path: -path.total)
+    return VlrtExplanation(
+        total_requests=len(completed),
+        vlrt_count=len(paths),
+        threshold=threshold,
+        rto=rto,
+        by_cause=by_cause,
+        clusters=clusters,
+        paths=paths,
+    )

@@ -1,0 +1,271 @@
+"""Per-request span trees: the fine-grained monitoring the paper calls for.
+
+A :class:`SpanTracer` installed on :attr:`Environment.tracer
+<repro.sim.core.Environment.tracer>` records one :class:`RequestTrace`
+per request, with one :class:`Span` per hop — client TCP send (and each
+retransmission wait), web-tier accept queue, worker service, balancer
+decision and endpoint wait, app-tier queue and service, database pool
+and service — so "why did *this* request take 3.007 s" is answerable
+from the trace alone (the question Figs. 2-4 answer with external
+monitors).
+
+The tracer follows the kernel's zero-cost-when-off hook pattern:
+``Environment.tracer`` defaults to ``None``, every call site guards
+with a single attribute check, and the tracer itself never creates or
+schedules events — recording is pure observation, so the event
+schedule (and the golden-trace hashes built on it) is byte-identical
+with tracing on, off, or absent.
+
+Span parentage is inferred per request: a span opened while another is
+open for the same request becomes its child.  The hop structure is
+sequential within one request, so this yields properly nested trees;
+cross-component waits (a queue wait opened by the producer and closed
+by the consumer) go through the *named* span API instead of carrying
+the span object across the hop.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Iterator, Optional
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.core import Environment
+
+__all__ = ["Span", "RequestTrace", "SpanTracer"]
+
+
+class Span:
+    """One timed hop of one request."""
+
+    __slots__ = ("span_id", "name", "start", "end", "parent", "children",
+                 "meta", "trace")
+
+    def __init__(self, span_id: int, name: str, start: float,
+                 parent: Optional["Span"] = None,
+                 trace: Optional["RequestTrace"] = None) -> None:
+        self.span_id = span_id
+        self.name = name
+        self.start = start
+        self.end: Optional[float] = None
+        self.parent = parent
+        self.children: list[Span] = []
+        #: Lazily allocated annotation dict (most spans carry none).
+        self.meta: Optional[dict] = None
+        #: Owning trace (lets ``finish`` unwind the open stack in O(1)).
+        self.trace = trace
+
+    @property
+    def duration(self) -> float:
+        """Seconds from start to end (``0.0`` while still open)."""
+        return 0.0 if self.end is None else self.end - self.start
+
+    @property
+    def finished(self) -> bool:
+        return self.end is not None
+
+    def annotate(self, **meta) -> None:
+        if self.meta is None:
+            self.meta = meta
+        else:
+            self.meta.update(meta)
+
+    def walk(self) -> Iterator["Span"]:
+        """This span and every descendant, depth-first, in open order."""
+        yield self
+        for child in self.children:
+            yield from child.walk()
+
+    @property
+    def depth(self) -> int:
+        depth, span = 0, self.parent
+        while span is not None:
+            depth, span = depth + 1, span.parent
+        return depth
+
+    def __repr__(self) -> str:
+        return "<Span #{} {} [{:.6f}, {}]>".format(
+            self.span_id, self.name, self.start,
+            "open" if self.end is None else format(self.end, ".6f"))
+
+
+class RequestTrace:
+    """The span tree of one request, rooted at its client-visible span."""
+
+    __slots__ = ("request_id", "root", "_stack", "_named")
+
+    def __init__(self, request_id: int, root: Span) -> None:
+        self.request_id = request_id
+        self.root = root
+        #: Open spans, innermost last; the next span opened for this
+        #: request becomes a child of the innermost open span.
+        self._stack: list[Span] = [root]
+        #: Open cross-component spans by name (producer opens,
+        #: consumer closes).
+        self._named: dict[str, Span] = {}
+
+    @property
+    def status(self) -> Optional[str]:
+        """Root-span status annotation (``ok``/``abandoned``/...)."""
+        return None if self.root.meta is None else self.root.meta.get(
+            "status")
+
+    @property
+    def completed(self) -> bool:
+        return self.root.end is not None and self.status == "ok"
+
+    @property
+    def duration(self) -> float:
+        return self.root.duration
+
+    def span_count(self) -> int:
+        return sum(1 for _ in self.root.walk())
+
+    def spans_named(self, name: str) -> list[Span]:
+        return [span for span in self.root.walk() if span.name == name]
+
+    def signature(self) -> str:
+        """Canonical nesting signature: ``name(child,child(...),...)``.
+
+        Depends only on span names and parent/child shape — not on
+        timing — which is what the trace-structure golden test pins.
+        """
+        def render(span: Span) -> str:
+            if not span.children:
+                return span.name
+            return "{}({})".format(
+                span.name, ",".join(render(child)
+                                    for child in span.children))
+        return render(self.root)
+
+    def __repr__(self) -> str:
+        return "<RequestTrace #{} spans={} {}>".format(
+            self.request_id, self.span_count(),
+            "open" if self.root.end is None else self.status)
+
+
+class SpanTracer:
+    """Builds one :class:`RequestTrace` per request as events unfold.
+
+    Every method is a no-op for requests without a begun trace, so
+    instrumented components never need to know whether a particular
+    request (a unit-test probe object, say) is being traced.
+    """
+
+    __slots__ = ("env", "traces", "_next_span_id")
+
+    def __init__(self, env: "Environment") -> None:
+        self.env = env
+        #: request_id -> trace, in begin order (dicts preserve it).
+        self.traces: dict[int, RequestTrace] = {}
+        self._next_span_id = 0
+
+    # -- trace lifecycle ---------------------------------------------------
+    def begin(self, request_id: int, **meta) -> RequestTrace:
+        """Open the root span of a new request."""
+        root = self._new_span("request", None)
+        if meta:
+            root.annotate(**meta)
+        trace = RequestTrace(request_id, root)
+        root.trace = trace
+        self.traces[request_id] = trace
+        return trace
+
+    def end(self, request_id: int, status: str = "ok", **meta) -> None:
+        """Close the root span (stragglers stay open for finalize)."""
+        trace = self.traces.get(request_id)
+        if trace is None or trace.root.end is not None:
+            return
+        trace.root.end = self.env.now
+        trace.root.annotate(status=status, **meta)
+
+    def get(self, request_id: int) -> Optional[RequestTrace]:
+        return self.traces.get(request_id)
+
+    # -- spans -------------------------------------------------------------
+    def start(self, request_id: int, name: str, **meta) -> Optional[Span]:
+        """Open a span as a child of the request's innermost open span."""
+        trace = self.traces.get(request_id)
+        if trace is None:
+            return None
+        parent = trace._stack[-1] if trace._stack else trace.root
+        span = self._new_span(name, parent, trace)
+        if meta:
+            span.annotate(**meta)
+        trace._stack.append(span)
+        return span
+
+    def finish(self, span: Optional[Span], **meta) -> None:
+        """Close ``span`` (``None`` and double closes are no-ops)."""
+        if span is None or span.end is not None:
+            return
+        span.end = self.env.now
+        if meta:
+            span.annotate(**meta)
+        # The span is usually innermost, but interrupts and faults can
+        # close out of order; remove it from wherever it sits.
+        stack = span.trace._stack
+        if span in stack:
+            stack.remove(span)
+
+    def start_named(self, request_id: int, name: str, **meta) -> None:
+        """Open a cross-component span the consumer will close by name."""
+        trace = self.traces.get(request_id)
+        if trace is None or name in trace._named:
+            return
+        span = self.start(request_id, name, **meta)
+        if span is not None:
+            trace._named[name] = span
+
+    def finish_named(self, request_id: int, name: str, **meta) -> None:
+        trace = self.traces.get(request_id)
+        if trace is None:
+            return
+        span = trace._named.pop(name, None)
+        if span is not None:
+            self.finish(span, **meta)
+
+    def instant(self, request_id: int, name: str, **meta) -> None:
+        """A zero-duration annotation span (decision points)."""
+        span = self.start(request_id, name, **meta)
+        self.finish(span)
+
+    # -- completion --------------------------------------------------------
+    def finalize(self) -> None:
+        """Close every still-open span at the current time.
+
+        Called once after the run: requests in flight at the horizon
+        (and ghost work whose client already moved on) get their spans
+        closed with an ``unfinished`` marker so exporters and the
+        decomposer see only well-formed intervals.
+        """
+        now = self.env.now
+        for trace in self.traces.values():
+            for span in trace.root.walk():
+                if span.end is None:
+                    span.end = now
+                    span.annotate(unfinished=True)
+                    if span is trace.root and (
+                            span.meta.get("status") is None):
+                        span.annotate(status="unfinished")
+            trace._stack.clear()
+            trace._named.clear()
+
+    def completed_traces(self) -> list[RequestTrace]:
+        """Traces whose request finished normally, in begin order."""
+        return [trace for trace in self.traces.values() if trace.completed]
+
+    def __len__(self) -> int:
+        return len(self.traces)
+
+    # -- internals ---------------------------------------------------------
+    def _new_span(self, name: str, parent: Optional[Span],
+                  trace: Optional[RequestTrace] = None) -> Span:
+        self._next_span_id += 1
+        span = Span(self._next_span_id, name, self.env.now, parent, trace)
+        if parent is not None:
+            parent.children.append(span)
+        return span
+
+    def __repr__(self) -> str:
+        return "<SpanTracer traces={} spans={}>".format(
+            len(self.traces), self._next_span_id)

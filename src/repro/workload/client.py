@@ -19,7 +19,7 @@ identical to the paper's client.
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING
+from typing import TYPE_CHECKING, Optional
 
 import numpy as np
 
@@ -93,6 +93,11 @@ class Client:
             request = Request(self.env, self._allocate_request_id(),
                               interaction, self.client_id)
             self.attempts_issued += 1
+            tracer = self.env.tracer
+            if tracer is not None:
+                tracer.begin(request.request_id,
+                             interaction=interaction.name,
+                             client=self.client_id)
             try:
                 request.retransmissions = yield from self.sender.send(
                     self.socket, request)
@@ -100,10 +105,16 @@ class Client:
                 # TCP gave up entirely; the user retries after thinking.
                 request.completion.defuse()
                 self.requests_abandoned += 1
+                if tracer is not None:
+                    tracer.end(request.request_id, status="abandoned")
                 yield self._think()
                 continue
             yield request.completion
             request.completed_at = self.env.now
+            if tracer is not None:
+                tracer.end(request.request_id, status="ok",
+                           served_by=request.served_by,
+                           retransmissions=request.retransmissions)
             self.requests_completed += 1
             self.recorder.record(CompletedRequest(
                 request_id=request.request_id,
@@ -127,11 +138,21 @@ class Client:
         policy = self.retry
         env = self.env
         first_started = env.now
+        first_request_id: Optional[int] = None
         attempt = 1
         while True:
             request = Request(env, self._allocate_request_id(),
                               interaction, self.client_id)
             self.attempts_issued += 1
+            if first_request_id is None:
+                first_request_id = request.request_id
+            tracer = env.tracer
+            if tracer is not None:
+                tracer.begin(request.request_id,
+                             interaction=interaction.name,
+                             client=self.client_id, attempt=attempt,
+                             retry_of=(None if attempt == 1
+                                       else first_request_id))
             deadline = env.timeout(policy.request_timeout)
             send = env.process(self.sender.send(self.socket, request))
             # The race may be decided while the send still runs; its
@@ -154,6 +175,10 @@ class Client:
                 pass
             if completed:
                 request.completed_at = env.now
+                if tracer is not None:
+                    tracer.end(request.request_id, status="ok",
+                               served_by=request.served_by,
+                               retransmissions=request.retransmissions)
                 self.requests_completed += 1
                 self.recorder.record(CompletedRequest(
                     request_id=request.request_id,
@@ -167,6 +192,8 @@ class Client:
             # The attempt failed; its request may still be served later
             # (ghost work — counted by retry amplification, not here).
             request.completion.defuse()
+            if tracer is not None:
+                tracer.end(request.request_id, status="deadline")
             if attempt >= policy.max_attempts:
                 self.requests_abandoned += 1
                 return

@@ -1,0 +1,114 @@
+"""End-to-end CLI exit codes: ``main()`` driven as a subprocess would.
+
+The contract the CI and any wrapping scripts rely on: 0 success,
+1 findings (statan), 2 configuration/user error — asserted through
+``repro.cli.main`` itself, not the subcommand helpers, so argument
+parsing, dispatch and error handling are all on the hook.
+"""
+
+import json
+
+import pytest
+
+from repro.cli import main
+
+
+class TestTraceCommand:
+    def test_trace_succeeds_and_reports(self, capsys):
+        code = main(["trace", "run/current_load", "--duration", "2",
+                     "--seed", "3", "--slowest", "2"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "VLRT explainer:" in out
+        assert "request #" in out
+        assert "critical path" in out
+
+    def test_trace_writes_chrome_json(self, tmp_path, capsys):
+        target = tmp_path / "trace.json"
+        code = main(["trace", "run/current_load", "--duration", "2",
+                     "--slowest", "1", "--chrome", str(target)])
+        assert code == 0
+        document = json.loads(target.read_text())
+        assert document["traceEvents"]
+        assert any(event["ph"] == "X"
+                   for event in document["traceEvents"])
+
+    def test_trace_json_flag_dumps_explanation(self, capsys):
+        code = main(["trace", "run/current_load", "--duration", "2",
+                     "--slowest", "0", "--json"])
+        out = capsys.readouterr().out
+        assert code == 0
+        start = out.index("{")
+        end = out.rindex("}") + 1
+        payload = json.loads(out[start:end])
+        assert "vlrt_count" in payload
+        assert "explained_fraction" in payload
+
+    def test_unknown_scenario_exits_2(self, capsys):
+        code = main(["trace", "no/such_scenario"])
+        err = capsys.readouterr().err
+        assert code == 2
+        assert "unknown scenario" in err
+
+
+class TestChaosCommand:
+    def test_chaos_grid_succeeds(self, capsys):
+        code = main(["chaos", "--faults", "none", "--remedies", "none",
+                     "--bundles", "current_load_modified",
+                     "--duration", "2"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "current_load_modified" in out
+
+    def test_chaos_unknown_fault_exits_2(self, capsys):
+        code = main(["chaos", "--faults", "not_a_fault",
+                     "--duration", "2"])
+        assert code == 2
+        assert "fault" in capsys.readouterr().err
+
+
+class TestStatanCommand:
+    def test_clean_file_exits_0(self, tmp_path):
+        module = tmp_path / "clean.py"
+        module.write_text("VALUE = 1\n")
+        assert main(["statan", str(module)]) == 0
+
+    def test_findings_exit_1(self, tmp_path, capsys):
+        module = tmp_path / "dirty.py"
+        module.write_text("import time\nNOW = time.time()\n")
+        code = main(["statan", str(module)])
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "DET001" in out
+
+    def test_missing_path_exits_2(self, tmp_path, capsys):
+        code = main(["statan", str(tmp_path / "absent.py")])
+        assert code == 2
+        assert "statan" in capsys.readouterr().err
+
+    def test_repo_source_tree_is_clean_at_warning(self):
+        """The CI gate, end to end: src/repro lints clean."""
+        assert main(["statan", "src/repro",
+                     "--min-severity", "warning"]) == 0
+
+
+class TestOtherCommands:
+    def test_list_exits_0_and_names_scenarios(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "run/current_load" in out
+        assert "fig1/baseline" in out
+
+    def test_run_exits_0(self, capsys):
+        code = main(["run", "fig1/baseline", "--duration", "2"])
+        assert code == 0
+        assert "requests" in capsys.readouterr().out
+
+    def test_run_unknown_scenario_exits_2(self, capsys):
+        assert main(["run", "nope"]) == 2
+        assert "unknown scenario" in capsys.readouterr().err
+
+    def test_missing_subcommand_exits_2(self):
+        with pytest.raises(SystemExit) as excinfo:
+            main([])
+        assert excinfo.value.code == 2

@@ -30,7 +30,8 @@ from repro.cluster.runner import (
     compare_policies,
 )
 from repro.cluster.scenarios import Scenario
-from repro.cluster.topology import NTierSystem, build_system
+from repro.cluster.spec import TopologySpec
+from repro.cluster.topology import NTierSystem, build_from_spec, build_system
 from repro.core.balancer import BalancerConfig, DirectDispatcher, LoadBalancer
 from repro.core.mechanism import ModifiedGetEndpoint, OriginalGetEndpoint
 from repro.core.policies import (
@@ -72,6 +73,8 @@ __all__ = [
     "compare_policies",
     "NTierSystem",
     "build_system",
+    "build_from_spec",
+    "TopologySpec",
     "ExperimentSummary",
     "Replication",
     "replicate",

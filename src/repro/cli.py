@@ -4,6 +4,9 @@ Subcommands::
 
     repro-lb list                         # available scenarios
     repro-lb run table1/current_load      # run one scenario
+    repro-lb run --topology spec.json     # run a declarative topology
+    repro-lb topology validate spec.json  # check a topology spec
+    repro-lb topology show replicated_db  # render a topology spec
     repro-lb table1 [--workers 4]         # the full Table I comparison
     repro-lb replicate table1/current_load --runs 8 --workers 4
     repro-lb statan src/repro             # simulation lint (see DESIGN.md)
@@ -28,16 +31,58 @@ def _cmd_list(_args: argparse.Namespace) -> int:
     return 0
 
 
+def _load_topology(ref: str):
+    import os
+
+    from repro.cluster.spec import BUILTIN_TOPOLOGIES, TopologySpec, get_topology
+    from repro.errors import ConfigurationError
+
+    if ref in BUILTIN_TOPOLOGIES:
+        return get_topology(ref)
+    if os.path.exists(ref):
+        return TopologySpec.load(ref)
+    raise ConfigurationError(
+        "no topology spec file {!r} (and not a builtin: {})".format(
+            ref, ", ".join(sorted(BUILTIN_TOPOLOGIES))))
+
+
 def _cmd_run(args: argparse.Namespace) -> int:
-    config = Scenario.named(args.scenario)
-    if args.duration is not None:
-        from dataclasses import replace
-        config = replace(config, duration=args.duration)
+    from dataclasses import replace
+
+    from repro.errors import ConfigurationError
+
+    if args.topology is not None:
+        if args.scenario is not None:
+            raise ConfigurationError(
+                "give either a scenario key or --topology, not both")
+        from repro.cluster.runner import ExperimentConfig
+
+        spec = _load_topology(args.topology)
+        config = ExperimentConfig(
+            profile=spec.scale_profile(), topology=spec,
+            duration=args.duration if args.duration is not None else 10.0)
+    else:
+        if args.scenario is None:
+            raise ConfigurationError(
+                "give a scenario key (see 'list') or --topology SPEC")
+        config = Scenario.named(args.scenario)
+        if args.duration is not None:
+            config = replace(config, duration=args.duration)
     if args.seed is not None:
-        from dataclasses import replace
         config = replace(config, seed=args.seed)
     result = ExperimentRunner(config).run()
     print(result.summary())
+    return 0
+
+
+def _cmd_topology(args: argparse.Namespace) -> int:
+    for ref in args.specs:
+        spec = _load_topology(ref)
+        if args.action == "show":
+            print(spec.describe())
+        else:
+            print("OK {} ({} tiers, {} boundaries)".format(
+                spec.name, len(spec.tiers), len(spec.boundaries)))
     return 0
 
 
@@ -183,11 +228,27 @@ def build_parser() -> argparse.ArgumentParser:
     sub.add_parser("list", help="list scenario keys").set_defaults(
         func=_cmd_list)
 
-    run = sub.add_parser("run", help="run one scenario")
-    run.add_argument("scenario", help="scenario key (see 'list')")
+    run = sub.add_parser("run", help="run one scenario or topology")
+    run.add_argument("scenario", nargs="?", default=None,
+                     help="scenario key (see 'list')")
+    run.add_argument("--topology", default=None, metavar="SPEC",
+                     help="run a declarative topology instead: a spec "
+                          "JSON path or a builtin name "
+                          "(classic, replicated_db, four_tier)")
     run.add_argument("--duration", type=float, default=None)
     run.add_argument("--seed", type=int, default=None)
     run.set_defaults(func=_cmd_run)
+
+    topo = sub.add_parser(
+        "topology",
+        help="validate or render declarative topology specs",
+        description="Load each spec (JSON path or builtin name), run "
+                    "its validation, and either confirm it (validate) "
+                    "or render its tier/boundary chain (show).")
+    topo.add_argument("action", choices=("validate", "show"))
+    topo.add_argument("specs", nargs="+", metavar="SPEC",
+                      help="spec JSON paths or builtin names")
+    topo.set_defaults(func=_cmd_topology)
 
     t1 = sub.add_parser("table1", help="run the Table I comparison")
     t1.add_argument("--duration", type=float, default=20.0)

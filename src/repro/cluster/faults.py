@@ -406,8 +406,9 @@ class FaultInjector:
             self.slow_at(system.server_named(spec.server), spec.at,
                          spec.duration, spec.factor)
         elif isinstance(spec, PacketLossFault):
-            sockets = [apache.socket for apache in system.apaches
-                       if spec.apache is None or apache.name == spec.apache]
+            sockets = [frontend.socket for frontend in system.frontends
+                       if spec.apache is None
+                       or frontend.name == spec.apache]
             if not sockets:
                 raise ConfigurationError(
                     "no web server named " + repr(spec.apache))

@@ -18,7 +18,8 @@ import numpy as np
 
 from repro.cluster.config import ScaleProfile
 from repro.cluster.faults import FaultInjector, FaultSpec
-from repro.cluster.topology import NTierSystem, build_system
+from repro.cluster.spec import TopologySpec
+from repro.cluster.topology import NTierSystem, build_from_spec, build_system
 from repro.core.balancer import BalancerConfig
 from repro.core.remedies import RemedyBundle, get_bundle
 from repro.core.states import StateConfig
@@ -71,6 +72,11 @@ class ExperimentConfig:
     #: Off by default: tracing is pure observation (the event schedule
     #: is identical either way) but retains every span in memory.
     trace_requests: bool = False
+    #: Declarative topology to build instead of the classic 3-tier
+    #: shape.  Balanced boundaries without a bundle of their own fall
+    #: back to ``bundle_key``; ``use_balancer`` and the
+    #: millibottleneck flags are ignored (the spec carries all that).
+    topology: Optional[TopologySpec] = None
 
     def __post_init__(self) -> None:
         if self.duration <= 0:
@@ -147,7 +153,8 @@ class ExperimentResult:
 
     def dropped_packets(self) -> int:
         """Client packets lost to web-tier accept-queue overflow."""
-        return sum(apache.socket.dropped for apache in self.system.apaches)
+        return sum(frontend.socket.dropped
+                   for frontend in self.system.frontends)
 
     # -- per-request traces -------------------------------------------------
     def traces(self) -> list:
@@ -172,7 +179,8 @@ class ExperimentResult:
     # -- chaos metrics -----------------------------------------------------
     def error_responses(self) -> int:
         """Fast 503s returned because every backend was in Error."""
-        return sum(apache.error_responses for apache in self.system.apaches)
+        return sum(frontend.error_responses
+                   for frontend in self.system.frontends)
 
     def hedges_issued(self) -> int:
         return sum(hedger.hedges_issued for hedger in self.system.hedgers)
@@ -211,10 +219,13 @@ class ExperimentResult:
     def summary(self) -> str:
         """A one-paragraph human-readable summary."""
         stats = self.stats()
+        label = self.config.bundle_key
+        if self.config.topology is not None:
+            label = "topology:" + self.config.topology.name
         return (
             "{}: {} requests, avg RT {:.2f} ms, VLRT {:.2f}%, "
             "normal {:.2f}%, drops {}, millibottlenecks {}".format(
-                self.config.bundle_key,
+                label,
                 stats.count,
                 stats.mean_ms,
                 100 * stats.vlrt_fraction,
@@ -256,16 +267,24 @@ class ExperimentRunner:
             trace_lb_values=config.trace_lb_values,
             trace_dispatches=config.trace_dispatches,
         )
-        system = build_system(
-            env, profile,
-            bundle=config.bundle() if config.use_balancer else None,
-            rng=rng,
-            tomcat_millibottlenecks=config.tomcat_millibottlenecks,
-            apache_millibottlenecks=config.apache_millibottlenecks,
-            balancer_config=balancer_config,
-            use_balancer=config.use_balancer,
-            resilience=config.resilience,
-        )
+        if config.topology is not None:
+            system = build_from_spec(
+                env, config.topology, profile=profile, rng=rng,
+                balancer_config=balancer_config,
+                resilience=config.resilience,
+                default_bundle=config.bundle(),
+            )
+        else:
+            system = build_system(
+                env, profile,
+                bundle=config.bundle() if config.use_balancer else None,
+                rng=rng,
+                tomcat_millibottlenecks=config.tomcat_millibottlenecks,
+                apache_millibottlenecks=config.apache_millibottlenecks,
+                balancer_config=balancer_config,
+                use_balancer=config.use_balancer,
+                resilience=config.resilience,
+            )
 
         fault_injector = None
         if config.faults:
@@ -279,7 +298,7 @@ class ExperimentRunner:
 
         population = ClientPopulation(
             env,
-            sockets=[apache.socket for apache in system.apaches],
+            sockets=[frontend.socket for frontend in system.frontends],
             total_clients=profile.clients,
             mix=self.mix,
             rng=rng,

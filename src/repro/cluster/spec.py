@@ -1,0 +1,512 @@
+"""Declarative topology specifications.
+
+The paper is about *N-tier* systems; this module makes the "N" data
+instead of code.  A :class:`TopologySpec` names an ordered chain of
+tiers (:class:`TierSpec`: service model, replica count, concurrency
+limit, host profile, optional millibottleneck profile) and, between
+each adjacent pair, a :class:`BoundarySpec` describing how requests
+cross the boundary — through a per-upstream-server load balancer
+(balancer-per-boundary, the mod_jk arrangement), a policy-free
+round-robin direct dispatcher, or an inline call on the caller's
+thread (the classic Tomcat→MySQL wiring).
+
+Specs are pure frozen data: loadable from a Python dict or JSON file
+(:meth:`TopologySpec.from_dict`, :meth:`TopologySpec.from_json`),
+picklable across process pools, and validated eagerly with
+:class:`~repro.errors.ConfigurationError`\\ s that name the offending
+field.  :func:`repro.cluster.topology.build_from_spec` turns a spec
+into a wired :class:`~repro.cluster.topology.NTierSystem`; the classic
+paper topology is :meth:`TopologySpec.classic` and builds an
+event-for-event identical system to the historical hand-coded one.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass, field
+from typing import Optional
+
+from repro.cluster.config import ScaleProfile
+from repro.errors import ConfigurationError
+from repro.osmodel.profiles import MillibottleneckProfile
+
+#: The service models a tier can be configured with (see
+#: :mod:`repro.tiers.base`).
+SERVICE_MODELS = ("frontend", "worker", "pooled")
+
+#: How requests cross a tier boundary.
+BOUNDARY_MODES = ("balanced", "direct", "inline")
+
+#: Default CPU-demand attribute of :class:`~repro.workload.interactions.
+#: Interaction` per service model.
+DEFAULT_CPU_SOURCE = {
+    "frontend": "apache_cpu",
+    "worker": "tomcat_cpu",
+    "pooled": "mysql_cpu",
+}
+
+
+def _require(condition: bool, message: str) -> None:
+    if not condition:
+        raise ConfigurationError(message)
+
+
+def _from_mapping(cls, data, what: str):
+    """Build a spec dataclass from a dict, rejecting unknown keys."""
+    if not isinstance(data, dict):
+        raise ConfigurationError(
+            "{} must be a mapping, got {!r}".format(what, data))
+    allowed = set(cls.__dataclass_fields__)
+    unknown = sorted(set(data) - allowed)
+    if unknown:
+        raise ConfigurationError(
+            "unknown {} field(s): {} (allowed: {})".format(
+                what, ", ".join(unknown), ", ".join(sorted(allowed))))
+    return cls(**data)
+
+
+@dataclass(frozen=True)
+class FlushSpec:
+    """Millibottleneck machinery of one tier's hosts.
+
+    ``profile(index)`` staggers first-flush phases across replicas
+    (``phase + stagger * index``), matching the paper's zoom-ins where
+    one server stalls at a time.
+    """
+
+    interval: float = 4.0
+    threshold_bytes: float = 256e3
+    stagger: float = 1.0
+    phase: float = 0.0
+
+    def __post_init__(self) -> None:
+        _require(self.interval > 0, "flush interval must be positive")
+        _require(self.threshold_bytes > 0,
+                 "flush threshold_bytes must be positive")
+        _require(self.stagger >= 0, "flush stagger must be >= 0")
+        _require(self.phase >= 0, "flush phase must be >= 0")
+
+    def profile(self, index: int) -> MillibottleneckProfile:
+        """Flush profile of the ``index``-th replica of the tier."""
+        return MillibottleneckProfile(
+            flush_interval=self.interval,
+            dirty_threshold_bytes=self.threshold_bytes,
+            phase=self.stagger * index + self.phase,
+        )
+
+
+@dataclass(frozen=True)
+class TierSpec:
+    """One tier of the chain.
+
+    ``capacity`` is the tier's concurrency limit in its service model's
+    native unit: ``MaxClients`` worker slots for a frontend,
+    ``maxThreads`` for a worker, pooled connections for a pooled tier.
+    ``flush=None`` disables millibottlenecks on the tier's hosts;
+    ``disk_bandwidth=None`` keeps the host default.  ``cpu_source``
+    names the :class:`~repro.workload.interactions.Interaction`
+    attribute the tier burns per request (defaulted per service model),
+    so a 4-tier chain can split the app-tier demand any way it likes.
+    """
+
+    name: str
+    service: str
+    replicas: int = 1
+    capacity: int = 8
+    cores: int = 4
+    backlog: int = 32
+    disk_bandwidth: Optional[float] = None
+    flush: Optional[FlushSpec] = None
+    cpu_source: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        _require(bool(self.name) and isinstance(self.name, str),
+                 "tier name must be a non-empty string")
+        _require(self.service in SERVICE_MODELS,
+                 "tier {!r}: unknown service model {!r} (one of {})".format(
+                     self.name, self.service, ", ".join(SERVICE_MODELS)))
+        _require(self.replicas >= 1,
+                 "tier {!r}: replicas must be >= 1".format(self.name))
+        _require(self.capacity >= 1,
+                 "tier {!r}: capacity must be >= 1".format(self.name))
+        _require(self.cores >= 1,
+                 "tier {!r}: cores must be >= 1".format(self.name))
+        _require(self.backlog >= 1,
+                 "tier {!r}: backlog must be >= 1".format(self.name))
+        if self.disk_bandwidth is not None:
+            _require(self.disk_bandwidth > 0,
+                     "tier {!r}: disk_bandwidth must be positive".format(
+                         self.name))
+
+    @property
+    def effective_cpu_source(self) -> str:
+        return self.cpu_source or DEFAULT_CPU_SOURCE[self.service]
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "TierSpec":
+        data = dict(data) if isinstance(data, dict) else data
+        if isinstance(data, dict) and isinstance(data.get("flush"), dict):
+            data["flush"] = _from_mapping(FlushSpec, data["flush"], "flush")
+        return _from_mapping(cls, data, "tier")
+
+
+@dataclass(frozen=True)
+class BoundarySpec:
+    """How requests cross one tier boundary.
+
+    * ``balanced`` — every upstream server runs its own
+      :class:`~repro.core.balancer.LoadBalancer` over the downstream
+      replicas; ``bundle`` names the Table-I policy/mechanism pair
+      (it may be left ``None`` when the experiment supplies one).
+    * ``direct`` — a policy-free round-robin
+      :class:`~repro.core.balancer.DirectDispatcher` per upstream
+      server (the paper's §III-B no-balancer configuration).
+    * ``inline`` — the upstream worker thread calls the (single)
+      downstream pooled server directly, holding one pooled connection
+      for the whole request (the classic Tomcat→MySQL wiring).
+
+    ``pool_size`` overrides the per-member AJP endpoint pool for this
+    boundary's balancers; ``resilience`` names a remedy bundle from
+    :data:`repro.resilience.RESILIENCE_BUNDLES` to wire around them.
+    """
+
+    mode: str = "balanced"
+    bundle: Optional[str] = None
+    pool_size: Optional[int] = None
+    resilience: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        _require(self.mode in BOUNDARY_MODES,
+                 "unknown boundary mode {!r} (one of {})".format(
+                     self.mode, ", ".join(BOUNDARY_MODES)))
+        if self.pool_size is not None:
+            _require(self.pool_size >= 1, "boundary pool_size must be >= 1")
+        if self.bundle is not None:
+            from repro.core.remedies import BUNDLES
+
+            _require(self.bundle in BUNDLES,
+                     "unknown policy bundle {!r} (one of {})".format(
+                         self.bundle, ", ".join(sorted(BUNDLES))))
+        if self.resilience is not None:
+            from repro.resilience import RESILIENCE_BUNDLES
+
+            _require(self.resilience in RESILIENCE_BUNDLES,
+                     "unknown resilience bundle {!r} (one of {})".format(
+                         self.resilience,
+                         ", ".join(sorted(RESILIENCE_BUNDLES))))
+        if self.mode != "balanced":
+            _require(self.bundle is None,
+                     "boundary mode {!r} takes no policy bundle".format(
+                         self.mode))
+            _require(self.resilience is None,
+                     "boundary mode {!r} takes no resilience bundle".format(
+                         self.mode))
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "BoundarySpec":
+        return _from_mapping(cls, data, "boundary")
+
+
+@dataclass(frozen=True)
+class WorkloadSpec:
+    """Closed-loop client population to drive a topology with."""
+
+    clients: int = 200
+    think_time: float = 1.0
+    ramp_up: float = 1.0
+
+    def __post_init__(self) -> None:
+        _require(self.clients >= 1, "workload clients must be >= 1")
+        _require(self.think_time > 0, "workload think_time must be positive")
+        _require(self.ramp_up >= 0, "workload ramp_up must be >= 0")
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "WorkloadSpec":
+        return _from_mapping(cls, data, "workload")
+
+
+@dataclass(frozen=True)
+class TopologySpec:
+    """An ordered tier chain plus one boundary between each pair."""
+
+    name: str
+    tiers: tuple[TierSpec, ...]
+    boundaries: tuple[BoundarySpec, ...]
+    workload: WorkloadSpec = field(default_factory=WorkloadSpec)
+
+    def __post_init__(self) -> None:
+        # Tolerate lists from hand-built specs; store tuples.
+        object.__setattr__(self, "tiers", tuple(self.tiers))
+        object.__setattr__(self, "boundaries", tuple(self.boundaries))
+        _require(bool(self.name), "topology name must be non-empty")
+        _require(len(self.tiers) >= 2,
+                 "topology {!r}: need at least two tiers, got {}".format(
+                     self.name, len(self.tiers)))
+        names = [tier.name for tier in self.tiers]
+        _require(len(set(names)) == len(names),
+                 "topology {!r}: duplicate tier names in {}".format(
+                     self.name, names))
+        _require(len(self.boundaries) == len(self.tiers) - 1,
+                 "topology {!r}: {} tiers need {} boundaries, got {}".format(
+                     self.name, len(self.tiers), len(self.tiers) - 1,
+                     len(self.boundaries)))
+        _require(self.tiers[0].service == "frontend",
+                 "topology {!r}: first tier must use the 'frontend' "
+                 "service model (clients need accept sockets)".format(
+                     self.name))
+        for tier in self.tiers[1:]:
+            _require(tier.service != "frontend",
+                     "topology {!r}: tier {!r} cannot be a frontend — "
+                     "only the first tier faces clients".format(
+                         self.name, tier.name))
+        for tier in self.tiers[:-1]:
+            _require(tier.service != "pooled",
+                     "topology {!r}: pooled tier {!r} must be last — "
+                     "it has no downstream".format(self.name, tier.name))
+        for depth, boundary in enumerate(self.boundaries):
+            upstream, downstream = self.tiers[depth], self.tiers[depth + 1]
+            where = "boundary {} ({} -> {})".format(
+                depth, upstream.name, downstream.name)
+            if boundary.mode == "inline":
+                _require(upstream.service == "worker",
+                         "{}: inline needs a worker upstream".format(where))
+                _require(downstream.service == "pooled",
+                         "{}: inline needs a pooled downstream".format(where))
+                _require(downstream.replicas == 1,
+                         "{}: inline cannot fan out over {} replicas — "
+                         "use a balanced or direct boundary".format(
+                             where, downstream.replicas))
+
+    # -- (de)serialisation -------------------------------------------------
+    @classmethod
+    def from_dict(cls, data: dict) -> "TopologySpec":
+        if not isinstance(data, dict):
+            raise ConfigurationError(
+                "topology spec must be a mapping, got {!r}".format(data))
+        unknown = sorted(
+            set(data) - {"name", "tiers", "boundaries", "workload"})
+        if unknown:
+            raise ConfigurationError(
+                "unknown topology field(s): " + ", ".join(unknown))
+        tiers = data.get("tiers") or ()
+        if not isinstance(tiers, (list, tuple)):
+            raise ConfigurationError("topology tiers must be a list")
+        boundaries = data.get("boundaries")
+        if boundaries is None:
+            boundaries = [{} for _ in range(max(0, len(tiers) - 1))]
+        if not isinstance(boundaries, (list, tuple)):
+            raise ConfigurationError("topology boundaries must be a list")
+        workload = data.get("workload")
+        return cls(
+            name=data.get("name", ""),
+            tiers=tuple(TierSpec.from_dict(tier) for tier in tiers),
+            boundaries=tuple(BoundarySpec.from_dict(boundary)
+                             for boundary in boundaries),
+            workload=(WorkloadSpec.from_dict(workload)
+                      if workload is not None else WorkloadSpec()),
+        )
+
+    @classmethod
+    def from_json(cls, text: str) -> "TopologySpec":
+        try:
+            data = json.loads(text)
+        except json.JSONDecodeError as error:
+            raise ConfigurationError(
+                "topology spec is not valid JSON: {}".format(error))
+        return cls.from_dict(data)
+
+    @classmethod
+    def load(cls, path) -> "TopologySpec":
+        with open(path) as handle:
+            return cls.from_json(handle.read())
+
+    def to_dict(self) -> dict:
+        data = asdict(self)
+        for tier in data["tiers"]:
+            if tier["flush"] is None:
+                del tier["flush"]
+            for key in ("disk_bandwidth", "cpu_source"):
+                if tier[key] is None:
+                    del tier[key]
+        for boundary in data["boundaries"]:
+            for key in ("bundle", "pool_size", "resilience"):
+                if boundary[key] is None:
+                    del boundary[key]
+        return data
+
+    def to_json(self, indent: int = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent)
+
+    # -- derived -----------------------------------------------------------
+    def tier_named(self, name: str) -> TierSpec:
+        for tier in self.tiers:
+            if tier.name == name:
+                return tier
+        raise ConfigurationError("no tier named " + repr(name))
+
+    def scale_profile(self) -> ScaleProfile:
+        """A :class:`ScaleProfile` carrying this spec's workload knobs.
+
+        Only the workload fields matter when building from a spec (the
+        tier knobs all come from the spec itself); the counts are
+        mirrored so reporting code sees a faithful profile.
+        """
+        return ScaleProfile(
+            name=self.name,
+            apache_count=self.tiers[0].replicas,
+            tomcat_count=self.tiers[1].replicas,
+            clients=self.workload.clients,
+            think_time=self.workload.think_time,
+            ramp_up=self.workload.ramp_up,
+        )
+
+    def describe(self) -> str:
+        """A compact human-readable rendering for ``topology show``."""
+        lines = ["topology {!r}: {} tiers, {} clients".format(
+            self.name, len(self.tiers), self.workload.clients)]
+        for depth, tier in enumerate(self.tiers):
+            flush = (" flush(interval={}, threshold={:.0f})".format(
+                tier.flush.interval, tier.flush.threshold_bytes)
+                if tier.flush else "")
+            lines.append("  [{}] {} x{} ({}, capacity={}){}".format(
+                depth, tier.name, tier.replicas, tier.service,
+                tier.capacity, flush))
+            if depth < len(self.boundaries):
+                boundary = self.boundaries[depth]
+                detail = boundary.mode
+                if boundary.bundle:
+                    detail += " bundle=" + boundary.bundle
+                if boundary.resilience:
+                    detail += " resilience=" + boundary.resilience
+                lines.append("       | " + detail)
+        return "\n".join(lines)
+
+    # -- built-in shapes ----------------------------------------------------
+    @classmethod
+    def classic(cls, profile: Optional[ScaleProfile] = None,
+                tomcat_millibottlenecks: bool = True,
+                apache_millibottlenecks: bool = False,
+                use_balancer: bool = True,
+                bundle: Optional[str] = None) -> "TopologySpec":
+        """The paper's Fig. 14 topology as data.
+
+        Building this spec produces a system event-for-event identical
+        to the historical hand-coded ``build_system`` — the golden
+        traces prove it.
+        """
+        profile = profile or ScaleProfile()
+        tomcat_flush = (FlushSpec(
+            interval=profile.flush_interval,
+            threshold_bytes=profile.flush_threshold_bytes,
+            stagger=profile.tomcat_flush_stagger)
+            if tomcat_millibottlenecks else None)
+        apache_flush = (FlushSpec(
+            interval=profile.flush_interval,
+            threshold_bytes=profile.flush_threshold_bytes,
+            stagger=profile.tomcat_flush_stagger,
+            phase=0.5)
+            if apache_millibottlenecks else None)
+        return cls(
+            name="classic",
+            tiers=(
+                TierSpec(name="apache", service="frontend",
+                         replicas=profile.apache_count,
+                         capacity=profile.apache_max_clients,
+                         cores=profile.apache_cores,
+                         backlog=profile.apache_backlog,
+                         disk_bandwidth=profile.apache_disk_bandwidth,
+                         flush=apache_flush),
+                TierSpec(name="tomcat", service="worker",
+                         replicas=profile.tomcat_count,
+                         capacity=profile.tomcat_max_threads,
+                         cores=profile.tomcat_cores,
+                         disk_bandwidth=profile.tomcat_disk_bandwidth,
+                         flush=tomcat_flush),
+                TierSpec(name="mysql", service="pooled",
+                         replicas=1,
+                         capacity=profile.mysql_connections,
+                         cores=profile.mysql_cores),
+            ),
+            boundaries=(
+                BoundarySpec(mode="balanced" if use_balancer else "direct",
+                             bundle=bundle if use_balancer else None),
+                BoundarySpec(mode="inline"),
+            ),
+            workload=WorkloadSpec(clients=profile.clients,
+                                  think_time=profile.think_time,
+                                  ramp_up=profile.ramp_up),
+        )
+
+    @classmethod
+    def replicated_db(cls) -> "TopologySpec":
+        """Three tiers with a *replicated* database behind its own
+        balancer — the shape the fixed wiring could never express.
+
+        Each Tomcat runs a ``current_load`` balancer over the MySQL
+        replicas, so a millibottleneck on one replica exercises the
+        same policy pathologies one tier deeper.
+        """
+        return cls(
+            name="replicated_db",
+            tiers=(
+                TierSpec(name="apache", service="frontend", replicas=2,
+                         capacity=8, backlog=10),
+                TierSpec(name="tomcat", service="worker", replicas=2,
+                         capacity=8, flush=FlushSpec(threshold_bytes=64e3)),
+                TierSpec(name="mysql", service="pooled", replicas=2,
+                         capacity=12),
+            ),
+            boundaries=(
+                BoundarySpec(mode="balanced", bundle="current_load_modified"),
+                BoundarySpec(mode="balanced", bundle="current_load"),
+            ),
+            workload=WorkloadSpec(clients=160),
+        )
+
+    @classmethod
+    def four_tier(cls) -> "TopologySpec":
+        """A 4-tier chain with a *mid-tier* millibottleneck.
+
+        Web -> service -> backend -> DB, balanced at every non-inline
+        boundary; the flush machinery sits on the third tier, so the
+        stall propagates through two cascaded balancing layers before
+        it reaches the clients.
+        """
+        return cls(
+            name="four_tier",
+            tiers=(
+                TierSpec(name="web", service="frontend", replicas=2,
+                         capacity=8, backlog=10),
+                TierSpec(name="service", service="worker", replicas=2,
+                         capacity=8),
+                TierSpec(name="backend", service="worker", replicas=2,
+                         capacity=8, cpu_source="tomcat_cpu",
+                         flush=FlushSpec(threshold_bytes=64e3)),
+                TierSpec(name="db", service="pooled", replicas=1,
+                         capacity=16),
+            ),
+            boundaries=(
+                BoundarySpec(mode="balanced", bundle="current_load_modified"),
+                BoundarySpec(mode="balanced", bundle="current_load"),
+                BoundarySpec(mode="inline"),
+            ),
+            workload=WorkloadSpec(clients=160),
+        )
+
+
+#: Built-in topologies addressable by name from the CLI.
+BUILTIN_TOPOLOGIES = {
+    "classic": TopologySpec.classic,
+    "replicated_db": TopologySpec.replicated_db,
+    "four_tier": TopologySpec.four_tier,
+}
+
+
+def get_topology(key: str) -> TopologySpec:
+    """Look up a built-in topology by name."""
+    try:
+        return BUILTIN_TOPOLOGIES[key]()
+    except KeyError:
+        raise ConfigurationError(
+            "unknown topology {!r} (one of {})".format(
+                key, ", ".join(sorted(BUILTIN_TOPOLOGIES))))

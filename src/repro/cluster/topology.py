@@ -1,30 +1,43 @@
-"""N-tier topology builder (the paper's Fig. 14).
+"""N-tier topology builder (the paper's Fig. 14, generalized).
 
-Builds the full system for one experiment: MySQL at the bottom, the
-Tomcat tier with (optionally) millibottleneck-producing hosts, the
-Apache tier, and one load balancer per Apache (or a direct dispatcher
-for the no-balancer configuration).
+:func:`build_from_spec` turns a declarative
+:class:`~repro.cluster.spec.TopologySpec` into a fully wired
+:class:`NTierSystem`: tiers are built back to front (each tier's
+dispatchers need the next tier's servers), with one balancer — or
+round-robin direct dispatcher — per upstream server at every
+non-inline boundary.
+
+:func:`build_system` is the classic entry point: it expresses the
+paper's fixed 3-tier shape as :meth:`TopologySpec.classic` and builds
+it through the generic path, producing a system event-for-event
+identical to the historical hand-coded builder (the golden traces pin
+this).
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import TYPE_CHECKING, Callable, Optional
 
 import numpy as np
 
 from repro.cluster.config import ScaleProfile
+from repro.cluster.spec import TierSpec, TopologySpec
 from repro.core.balancer import BalancerConfig, DirectDispatcher, LoadBalancer
 from repro.core.mechanism import GetEndpointMechanism
 from repro.core.policies import Policy
-from repro.core.remedies import RemedyBundle
+from repro.core.remedies import RemedyBundle, get_bundle
 from repro.core.states import StateConfig
 from repro.errors import ConfigurationError
 from repro.osmodel.host import Host
-from repro.osmodel.profiles import MillibottleneckProfile
-from repro.tiers.apache import ApacheServer
-from repro.tiers.mysql import MySqlServer
-from repro.tiers.tomcat import TomcatServer
+from repro.tiers.base import (
+    DispatchDownstream,
+    FrontendTier,
+    InlineDownstream,
+    PooledTier,
+    TierServer,
+    WorkerTier,
+)
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.resilience import ResilienceConfig
@@ -32,48 +45,77 @@ if TYPE_CHECKING:  # pragma: no cover
     from repro.resilience.probes import HealthProber
     from repro.sim.core import Environment
 
-#: Seed of the generator :func:`build_system` falls back to when the
-#: caller does not inject one.  Experiments always inject the
-#: config-seeded generator (see ``ExperimentRunner.run``); the explicit
-#: fallback seed exists so ad-hoc construction in tests and notebooks is
-#: reproducible too, never entropy-seeded.
+#: Seed of the generator the builders fall back to when the caller does
+#: not inject one.  Experiments always inject the config-seeded
+#: generator (see ``ExperimentRunner.run``); the explicit fallback seed
+#: exists so ad-hoc construction in tests and notebooks is reproducible
+#: too, never entropy-seeded.
 DEFAULT_BUILD_SEED = 0
 
 
 @dataclass
 class NTierSystem:
-    """All the servers of one experiment, fully wired."""
+    """All the servers of one experiment, fully wired.
+
+    Tiers are addressed generically — ``system.tiers["tomcat"]`` is the
+    list of app-tier replicas, front-to-back order in ``tier_names`` —
+    while ``apaches``/``tomcats``/``mysql`` remain as thin accessors
+    for the classic 3-tier shape.
+    """
 
     env: "Environment"
     profile: ScaleProfile
-    apaches: list[ApacheServer]
-    tomcats: list[TomcatServer]
-    mysql: MySqlServer
+    tier_names: tuple[str, ...]
+    tiers: dict[str, list[TierServer]]
     balancers: list[LoadBalancer] = field(default_factory=list)
     direct_dispatchers: list[DirectDispatcher] = field(default_factory=list)
     #: Health-probe drivers, one per balancer (when probes configured).
     probers: list["HealthProber"] = field(default_factory=list)
     #: Hedging wrappers, one per balancer (when hedging configured).
     hedgers: list["HedgingDispatcher"] = field(default_factory=list)
+    #: The declarative spec the system was built from (when it was).
+    spec: Optional[TopologySpec] = None
+
+    # -- generic addressing ------------------------------------------------
+    @property
+    def frontends(self) -> list[TierServer]:
+        """The client-facing tier's servers (they own accept sockets)."""
+        return self.tiers[self.tier_names[0]]
+
+    @property
+    def servers(self) -> list[TierServer]:
+        """Every tier server, front-to-back tier order."""
+        return [server for name in self.tier_names
+                for server in self.tiers[name]]
 
     @property
     def hosts(self) -> list[Host]:
-        """Every host of the deployment."""
-        return ([server.host for server in self.apaches]
-                + [server.host for server in self.tomcats]
-                + [self.mysql.host])
+        """Every host of the deployment, front-to-back tier order."""
+        return [server.host for server in self.servers]
 
-    @property
-    def servers(self):
-        """Every tier server (web, app, db), in tier order."""
-        return list(self.apaches) + list(self.tomcats) + [self.mysql]
-
-    def server_named(self, name: str):
+    def server_named(self, name: str) -> TierServer:
         for server in self.servers:
             if server.name == name:
                 return server
         raise ConfigurationError("no server named " + name)
 
+    # -- classic accessors -------------------------------------------------
+    @property
+    def apaches(self) -> list[TierServer]:
+        """Classic alias for the web (first) tier."""
+        return self.frontends
+
+    @property
+    def tomcats(self) -> list[TierServer]:
+        """Classic alias for the app (second) tier."""
+        return self.tiers[self.tier_names[1]]
+
+    @property
+    def mysql(self) -> TierServer:
+        """Classic alias for the (first) database-tier server."""
+        return self.tiers[self.tier_names[-1]][0]
+
+    # -- aggregates --------------------------------------------------------
     def millibottleneck_records(self):
         """Ground-truth stall records across all hosts, time-ordered."""
         records = [record for host in self.hosts
@@ -84,6 +126,166 @@ class NTierSystem:
         return (sum(balancer.dispatches for balancer in self.balancers)
                 + sum(d.dispatches for d in self.direct_dispatchers))
 
+
+# -- generic builder --------------------------------------------------------
+
+def build_from_spec(
+    env: "Environment",
+    spec: TopologySpec,
+    profile: Optional[ScaleProfile] = None,
+    rng: Optional[np.random.Generator] = None,
+    *,
+    balancer_config: Optional[BalancerConfig] = None,
+    state_config: Optional[StateConfig] = None,
+    policy_factory: Optional[Callable[[], Policy]] = None,
+    mechanism_factory: Optional[Callable[[], GetEndpointMechanism]] = None,
+    resilience: Optional["ResilienceConfig"] = None,
+    default_bundle: Optional[RemedyBundle] = None,
+) -> NTierSystem:
+    """Build and wire the system a :class:`TopologySpec` describes.
+
+    ``rng`` should be the experiment's seeded generator; when omitted,
+    a generator seeded with :data:`DEFAULT_BUILD_SEED` keeps even
+    ad-hoc builds deterministic.
+
+    ``policy_factory``/``mechanism_factory`` and ``resilience``
+    override the *frontend* boundary (they are how the classic
+    ``build_system`` API plugs in); deeper boundaries take their
+    bundles from the spec.  ``default_bundle`` backstops any balanced
+    boundary whose spec names no bundle.
+    """
+    if rng is None:
+        rng = np.random.default_rng(DEFAULT_BUILD_SEED)
+    profile = profile or ScaleProfile()
+    config = balancer_config or BalancerConfig(
+        pool_size=profile.connection_pool_size)
+
+    system = NTierSystem(
+        env=env, profile=profile, spec=spec,
+        tier_names=tuple(tier.name for tier in spec.tiers),
+        tiers={tier.name: [] for tier in spec.tiers})
+
+    downstream: list[TierServer] = []
+    for depth in reversed(range(len(spec.tiers))):
+        tier = spec.tiers[depth]
+        boundary = (spec.boundaries[depth]
+                    if depth < len(spec.boundaries) else None)
+        servers = system.tiers[tier.name]
+        if tier.service == "frontend":
+            # Hosts and servers first, then one dispatcher per server —
+            # the classic construction (and hence event) order.
+            for index in range(tier.replicas):
+                host = _make_host(env, tier, index)
+                servers.append(FrontendTier(
+                    env, host.name, host,
+                    max_clients=tier.capacity, backlog=tier.backlog,
+                    role=tier.name,
+                    cpu_source=tier.effective_cpu_source))
+            for server in servers:
+                server.attach_dispatcher(_make_dispatcher(
+                    env, system, server.name, boundary, downstream,
+                    depth, config, state_config, rng,
+                    policy_factory, mechanism_factory, resilience,
+                    default_bundle))
+        elif tier.service == "worker":
+            for index in range(tier.replicas):
+                host = _make_host(env, tier, index)
+                if boundary is None:
+                    tier_downstream = None
+                elif boundary.mode == "inline":
+                    tier_downstream = InlineDownstream(downstream[0])
+                else:
+                    tier_downstream = DispatchDownstream(_make_dispatcher(
+                        env, system, host.name, boundary, downstream,
+                        depth, config, state_config, rng,
+                        policy_factory, mechanism_factory, resilience,
+                        default_bundle))
+                servers.append(WorkerTier(
+                    env, host.name, host,
+                    max_threads=tier.capacity,
+                    downstream=tier_downstream,
+                    role=tier.name,
+                    cpu_source=tier.effective_cpu_source))
+        else:  # pooled
+            for index in range(tier.replicas):
+                host = _make_host(env, tier, index)
+                servers.append(PooledTier(
+                    env, host.name, host,
+                    max_connections=tier.capacity,
+                    role=tier.name,
+                    cpu_source=tier.effective_cpu_source))
+        downstream = servers
+    return system
+
+
+def _make_host(env: "Environment", tier: TierSpec, index: int) -> Host:
+    kwargs = {}
+    if tier.disk_bandwidth is not None:
+        kwargs["disk_bandwidth"] = tier.disk_bandwidth
+    if tier.flush is not None:
+        kwargs["flush_profile"] = tier.flush.profile(index)
+    return Host(env, "{}{}".format(tier.name, index + 1),
+                cores=tier.cores, **kwargs)
+
+
+def _make_dispatcher(env, system, owner_name, boundary, downstream, depth,
+                     config, state_config, rng,
+                     policy_factory, mechanism_factory, resilience,
+                     default_bundle):
+    """One upstream server's dispatcher over the next tier's replicas."""
+    if boundary.mode == "direct":
+        dispatcher = DirectDispatcher(env, list(downstream),
+                                      link_latency=config.link_latency)
+        system.direct_dispatchers.append(dispatcher)
+        return dispatcher
+    make_policy, make_mechanism = _boundary_factories(
+        boundary, depth, policy_factory, mechanism_factory, default_bundle)
+    boundary_config = (replace(config, pool_size=boundary.pool_size)
+                       if boundary.pool_size is not None else config)
+    balancer = LoadBalancer(
+        env, owner_name + ".lb", downstream,
+        policy=make_policy(),
+        mechanism=make_mechanism(),
+        rng=rng,
+        config=boundary_config,
+        state_config=state_config,
+    )
+    system.balancers.append(balancer)
+    return _wire_resilience(
+        env, system, balancer,
+        _boundary_resilience(boundary, depth, resilience), rng)
+
+
+def _boundary_factories(boundary, depth, policy_factory, mechanism_factory,
+                        default_bundle):
+    """Resolve the policy/mechanism pair for one balanced boundary."""
+    if depth == 0 and (policy_factory is not None
+                       or mechanism_factory is not None):
+        if policy_factory is None or mechanism_factory is None:
+            raise ConfigurationError(
+                "provide a RemedyBundle or policy/mechanism factories")
+        return policy_factory, mechanism_factory
+    if boundary.bundle is not None:
+        bundle = get_bundle(boundary.bundle)
+        return bundle.make_policy, bundle.make_mechanism
+    if default_bundle is not None:
+        return default_bundle.make_policy, default_bundle.make_mechanism
+    raise ConfigurationError(
+        "provide a RemedyBundle or policy/mechanism factories")
+
+
+def _boundary_resilience(boundary, depth, resilience):
+    """Resolve one boundary's resilience configuration."""
+    if depth == 0 and resilience is not None:
+        return resilience
+    if boundary.resilience is not None:
+        from repro.resilience import get_resilience
+
+        return get_resilience(boundary.resilience)
+    return None
+
+
+# -- classic entry point ----------------------------------------------------
 
 def build_system(
     env: "Environment",
@@ -99,11 +301,12 @@ def build_system(
     use_balancer: bool = True,
     resilience: Optional["ResilienceConfig"] = None,
 ) -> NTierSystem:
-    """Build and wire an n-tier system.
+    """Build and wire the paper's 3-tier system.
 
     Either ``bundle`` or both factories must be given when
-    ``use_balancer``; the no-balancer (§III-B) configuration requires a
-    single Apache and a single Tomcat.
+    ``use_balancer``; with ``use_balancer=False`` every Apache
+    round-robins directly over the Tomcat tier (the single-node §III-B
+    configuration is the 1/1 special case).
 
     ``rng`` should be the experiment's seeded generator; when omitted,
     a generator seeded with :data:`DEFAULT_BUILD_SEED` keeps even
@@ -116,85 +319,30 @@ def build_system(
     the seed one.  The client-side retry remedy lives with the client
     population, not here.
     """
-    if rng is None:
-        rng = np.random.default_rng(DEFAULT_BUILD_SEED)
-
-    # -- database tier ---------------------------------------------------
-    mysql_host = Host(env, "mysql1", cores=profile.mysql_cores)
-    mysql = MySqlServer(env, "mysql1", mysql_host,
-                        max_connections=profile.mysql_connections)
-
-    # -- application tier -----------------------------------------------
-    tomcats = []
-    for index in range(profile.tomcat_count):
-        flush = (profile.tomcat_flush_profile(index)
-                 if tomcat_millibottlenecks
-                 else MillibottleneckProfile.disabled())
-        host = Host(env, "tomcat{}".format(index + 1),
-                    cores=profile.tomcat_cores,
-                    disk_bandwidth=profile.tomcat_disk_bandwidth,
-                    flush_profile=flush)
-        tomcats.append(TomcatServer(
-            env, host.name, host, mysql,
-            max_threads=profile.tomcat_max_threads))
-
-    # -- web tier ------------------------------------------------------
-    apaches = []
-    for index in range(profile.apache_count):
-        flush = (profile.apache_flush_profile(index)
-                 if apache_millibottlenecks
-                 else MillibottleneckProfile.disabled())
-        host = Host(env, "apache{}".format(index + 1),
-                    cores=profile.apache_cores,
-                    disk_bandwidth=profile.apache_disk_bandwidth,
-                    flush_profile=flush)
-        apaches.append(ApacheServer(
-            env, host.name, host,
-            max_clients=profile.apache_max_clients,
-            backlog=profile.apache_backlog))
-
-    system = NTierSystem(env=env, profile=profile, apaches=apaches,
-                         tomcats=tomcats, mysql=mysql)
-
-    # -- dispatchers -----------------------------------------------------
-    if use_balancer:
-        if bundle is not None:
-            policy_factory = bundle.make_policy
-            mechanism_factory = bundle.make_mechanism
-        if policy_factory is None or mechanism_factory is None:
-            raise ConfigurationError(
-                "provide a RemedyBundle or policy/mechanism factories")
-        config = balancer_config or BalancerConfig(
-            pool_size=profile.connection_pool_size)
-        for apache in apaches:
-            balancer = LoadBalancer(
-                env, apache.name + ".lb", tomcats,
-                policy=policy_factory(),
-                mechanism=mechanism_factory(),
-                rng=rng,
-                config=config,
-                state_config=state_config,
-            )
-            dispatcher = _wire_resilience(env, system, balancer,
-                                          resilience, rng)
-            apache.attach_dispatcher(dispatcher)
-            system.balancers.append(balancer)
-    else:
-        if profile.apache_count != 1 or profile.tomcat_count != 1:
-            raise ConfigurationError(
-                "the no-balancer configuration is 1 Apache / 1 Tomcat")
-        dispatcher = DirectDispatcher(env, tomcats[0])
-        apaches[0].attach_dispatcher(dispatcher)
-        system.direct_dispatchers.append(dispatcher)
-
-    return system
+    if bundle is not None:
+        policy_factory = bundle.make_policy
+        mechanism_factory = bundle.make_mechanism
+    spec = TopologySpec.classic(
+        profile,
+        tomcat_millibottlenecks=tomcat_millibottlenecks,
+        apache_millibottlenecks=apache_millibottlenecks,
+        use_balancer=use_balancer,
+    )
+    return build_from_spec(
+        env, spec, profile=profile, rng=rng,
+        balancer_config=balancer_config,
+        state_config=state_config,
+        policy_factory=policy_factory if use_balancer else None,
+        mechanism_factory=mechanism_factory if use_balancer else None,
+        resilience=resilience,
+    )
 
 
 def _wire_resilience(env, system, balancer, resilience, rng):
     """Install the configured remedies around one balancer.
 
-    Returns the dispatcher the Apache should use: the balancer itself,
-    or its hedging wrapper.
+    Returns the dispatcher the upstream server should use: the
+    balancer itself, or its hedging wrapper.
     """
     if resilience is None:
         return balancer

@@ -306,36 +306,57 @@ class LoadBalancer:
 
 
 class DirectDispatcher:
-    """No load balancer: requests go straight to a single backend.
+    """No load balancer: requests go straight to a backend, no policy.
 
-    Models the paper's §III-B configuration (1 Apache / 1 Tomcat /
-    1 MySQL), used to show that millibottlenecks cause VLRT requests
-    even before any scheduling pathology.
+    With a single backend this models the paper's §III-B configuration
+    (1 Apache / 1 Tomcat / 1 MySQL), used to show that millibottlenecks
+    cause VLRT requests even before any scheduling pathology.  Given
+    several backends it statically round-robins over them — DNS-style
+    spreading with no lb_value ranking, no endpoint probing and no
+    3-state machine, the strawman every mod_jk policy is measured
+    against.
     """
 
-    def __init__(self, env: "Environment", backend: "TomcatServer",
+    def __init__(self, env: "Environment",
+                 backend: "TomcatServer" | Sequence["TomcatServer"],
                  link_latency: float = 0.0002) -> None:
+        backends = (list(backend) if isinstance(backend, Sequence)
+                    else [backend])
+        if not backends:
+            raise ConfigurationError(
+                "direct dispatcher needs at least one backend")
         self.env = env
-        self.backend = backend
-        self.link = Link(env, link_latency,
-                         name="direct->" + backend.name)
+        self.backends = backends
+        self.links = [Link(env, link_latency, name="direct->" + server.name)
+                      for server in backends]
         self.dispatches = 0
 
+    @property
+    def backend(self) -> "TomcatServer":
+        """The sole backend of the classic single-server configuration."""
+        return self.backends[0]
+
+    @property
+    def link(self) -> Link:
+        return self.links[0]
+
     def dispatch(self, request: Request):
-        """Process generator: forward ``request`` to the single backend."""
+        """Process generator: forward ``request`` to the next backend."""
+        index = self.dispatches % len(self.backends)
+        backend, link = self.backends[index], self.links[index]
         self.dispatches += 1
-        request.served_by = self.backend.name
+        request.served_by = backend.name
         request.dispatched_at = self.env.now
         tracer = self.env.tracer
         span = (tracer.start(request.request_id, "balancer.send",
-                             member=self.backend.name, direct=True)
+                             member=backend.name, direct=True)
                 if tracer is not None else None)
         reply: Event = Event(self.env)
         try:
-            yield self.link.delay()
-            self.backend.submit(request, reply)
+            yield link.delay()
+            backend.submit(request, reply)
             yield reply
-            yield self.link.delay()
+            yield link.delay()
         finally:
             if tracer is not None:
                 tracer.finish(span)

@@ -19,6 +19,9 @@ bad-delay      NAN00x  NaN/inf/negative delay literals reaching
                        ``schedule()`` / ``timeout()``
 retry-bound    RETRY001 ``while True`` retry loops (pause + ``continue``)
                        with no attempt cap, deadline, break, or raise
+seed-threading SEED001 system/fault builders called without threading the
+                       experiment's injected RNG (silent fallback to
+                       ``DEFAULT_BUILD_SEED``)
 ============== ======= ========================================================
 
 Every check here exists because its bug class silently corrupts a
@@ -38,7 +41,7 @@ from repro.statan.engine import Context, Rule, Severity
 __all__ = [
     "DeterminismRule", "ProcessProtocolRule", "ResourceSafetyRule",
     "FloatTimeComparisonRule", "MissingSlotsRule", "BadDelayRule",
-    "UnboundedRetryRule", "default_rules", "RULES",
+    "UnboundedRetryRule", "SeedThreadingRule", "default_rules", "RULES",
 ]
 
 
@@ -641,6 +644,63 @@ class UnboundedRetryRule(Rule):
                        "RetryPolicy.max_attempts does")
 
 
+# -- seed threading -------------------------------------------------------
+
+#: Builder callables that accept the experiment's generator, and the
+#: 1-based position of their ``rng`` parameter.  Calling one without it
+#: silently falls back to ``DEFAULT_BUILD_SEED`` / ``DEFAULT_FAULT_SEED``
+#: — deterministic, but decoupled from the experiment's seed.
+_SEEDED_BUILDERS = {
+    "build_system": 4,
+    "build_from_spec": 4,
+    "FaultInjector": 2,
+}
+
+
+class SeedThreadingRule(Rule):
+    """Topology and fault builders must thread the injected RNG.
+
+    ``build_system``/``build_from_spec``/``FaultInjector`` all take the
+    experiment's seeded generator; omitting it falls back to a fixed
+    build seed, which is reproducible but *wrong* — the balancers and
+    fault schedules stop varying with ``config.seed``, so replicate
+    runs silently share randomness.  The fallback exists for ad-hoc
+    notebook use; production call sites must pass ``rng=``.
+    """
+
+    id = "seed-threading"
+    description = "system/fault builder called without the injected RNG"
+    codes = ("SEED001",)
+
+    def make_visitor(self, ctx: Context) -> ast.NodeVisitor:
+        rule = self
+
+        class Visitor(ast.NodeVisitor):
+            def visit_Call(self, node: ast.Call) -> None:
+                rule._check(ctx, node)
+                self.generic_visit(node)
+
+        return Visitor()
+
+    def _check(self, ctx: Context, node: ast.Call) -> None:
+        name = _dotted(node.func)
+        if name is None:
+            return
+        short = name.rsplit(".", 1)[-1]
+        position = _SEEDED_BUILDERS.get(short)
+        if position is None:
+            return
+        if len(node.args) >= position:
+            return  # rng passed positionally
+        for keyword in node.keywords:
+            if keyword.arg == "rng" or keyword.arg is None:
+                return  # rng= given, or **kwargs may carry it
+        ctx.report(node, "SEED001", self.id, Severity.WARNING,
+                   "'{}()' without rng=: falls back to the fixed build "
+                   "seed, decoupling this system from the experiment's "
+                   "seed; thread the injected generator".format(short))
+
+
 #: The default ruleset, in reporting order.
 RULES: tuple[Rule, ...] = (
     DeterminismRule(),
@@ -650,6 +710,7 @@ RULES: tuple[Rule, ...] = (
     MissingSlotsRule(),
     BadDelayRule(),
     UnboundedRetryRule(),
+    SeedThreadingRule(),
 )
 
 

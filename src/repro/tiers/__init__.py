@@ -1,18 +1,38 @@
-"""Tier server models: Apache (web), Tomcat (app), MySQL (database)."""
+"""Tier server models.
+
+The three classic servers — Apache (web), Tomcat (app), MySQL
+(database) — are thin configurations of the generic service models in
+:mod:`repro.tiers.base` (:class:`FrontendTier`, :class:`WorkerTier`,
+:class:`PooledTier`), which declarative topologies instantiate
+directly for arbitrary tier chains.
+"""
 
 from repro.tiers.apache import (
     DEFAULT_ACCESS_LOG_BYTES,
     DEFAULT_BACKLOG,
     DEFAULT_MAX_CLIENTS,
     ApacheServer,
-    Dispatcher,
 )
-from repro.tiers.base import TierServer
+from repro.tiers.base import (
+    PRE_DB_FRACTION,
+    DispatchDownstream,
+    Dispatcher,
+    FrontendTier,
+    InlineDownstream,
+    PooledTier,
+    TierServer,
+    WorkerTier,
+)
 from repro.tiers.mysql import DEFAULT_MAX_CONNECTIONS, MySqlServer
-from repro.tiers.tomcat import DEFAULT_MAX_THREADS, PRE_DB_FRACTION, TomcatServer
+from repro.tiers.tomcat import DEFAULT_MAX_THREADS, TomcatServer
 
 __all__ = [
     "TierServer",
+    "FrontendTier",
+    "WorkerTier",
+    "PooledTier",
+    "InlineDownstream",
+    "DispatchDownstream",
     "ApacheServer",
     "TomcatServer",
     "MySqlServer",

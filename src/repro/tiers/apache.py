@@ -9,20 +9,23 @@ During a millibottleneck downstream, worker threads pile up inside the
 dispatcher waiting for the stalled Tomcat.  Once all workers are stuck,
 the accept queue fills; once it overflows, packets drop and clients
 retransmit seconds later: the VLRT mechanism end to end.
+
+``ApacheServer`` is the frontend service model of
+:mod:`repro.tiers.base` configured with Apache's Table III defaults.
 """
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Optional, Protocol
+from typing import TYPE_CHECKING
 
-from repro.errors import ConfigurationError, NoCandidateError
-from repro.netmodel.sockets import ListenSocket
 from repro.osmodel.host import Host
-from repro.tiers.base import TierServer
-from repro.workload.request import Request
+from repro.tiers.base import Dispatcher, FrontendTier
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.sim.core import Environment
+
+__all__ = ["ApacheServer", "Dispatcher", "DEFAULT_MAX_CLIENTS",
+           "DEFAULT_BACKLOG", "DEFAULT_ACCESS_LOG_BYTES"]
 
 #: Table III: Apache MaxClients (full-scale; experiments scale it).
 DEFAULT_MAX_CLIENTS = 200
@@ -32,95 +35,13 @@ DEFAULT_BACKLOG = 511
 DEFAULT_ACCESS_LOG_BYTES = 300
 
 
-class Dispatcher(Protocol):
-    """Anything that can forward a request to the app tier."""
-
-    def dispatch(self, request: Request):
-        """Process generator yielding until the response is available."""
-        ...  # pragma: no cover
-
-
-class ApacheServer(TierServer):
+class ApacheServer(FrontendTier):
     """One web server."""
 
     def __init__(self, env: "Environment", name: str, host: Host,
                  max_clients: int = DEFAULT_MAX_CLIENTS,
                  backlog: int = DEFAULT_BACKLOG,
                  access_log_bytes: int = DEFAULT_ACCESS_LOG_BYTES) -> None:
-        super().__init__(env, name, host)
-        if max_clients < 1:
-            raise ConfigurationError("max_clients must be >= 1")
-        self.max_clients = max_clients
-        self.access_log_bytes = access_log_bytes
-        self.socket = ListenSocket(env, backlog=backlog, name=name)
-        self.dispatcher: Optional[Dispatcher] = None
-        self.error_responses = 0
-        self._busy_workers = 0
-        self._workers: list = []
-
-    def attach_dispatcher(self, dispatcher: Dispatcher) -> None:
-        """Wire the app-tier dispatcher and start the worker threads."""
-        if self.dispatcher is not None:
-            raise ConfigurationError(
-                "{} already has a dispatcher".format(self.name))
-        self.dispatcher = dispatcher
-        self._workers = [self.env.process(self._worker())
-                         for _ in range(self.max_clients)]
-
-    def _worker(self):
-        while True:
-            request = yield self.socket.accept()
-            request.accepted_at = self.env.now
-            self._busy_workers += 1
-            tracer = self.env.tracer
-            span = None
-            if tracer is not None:
-                tracer.finish_named(request.request_id,
-                                    "apache.queue_wait")
-                span = tracer.start(request.request_id, "apache.service",
-                                    server=self.name)
-            try:
-                yield from self._handle(request)
-            finally:
-                self._busy_workers -= 1
-                if tracer is not None:
-                    tracer.finish(span)
-
-    def _handle(self, request: Request):
-        interaction = request.interaction
-        yield from self.host.execute(interaction.apache_cpu * 0.5)
-        try:
-            yield from self.dispatcher.dispatch(request)
-        except NoCandidateError:
-            # Every backend is in the Error state: return a 503.  The
-            # client still receives a (fast, useless) response.
-            self.error_responses += 1
-            tracer = self.env.tracer
-            if tracer is not None:
-                tracer.instant(request.request_id, "apache.error_503")
-            request.completion.succeed(request)
-            return
-        yield from self.host.execute(interaction.apache_cpu * 0.5)
-        self.host.write_file(self.access_log_bytes)
-        self.requests_completed += 1
-        self.bytes_served += interaction.traffic_bytes
-        request.completion.succeed(request)
-
-    # -- observability -------------------------------------------------------
-    @property
-    def queue_length(self) -> int:
-        """Requests in the accept queue."""
-        return self.socket.queue_length
-
-    @property
-    def busy_workers(self) -> int:
-        return self._busy_workers
-
-    @property
-    def in_server(self) -> int:
-        """Accept queue plus in-service (the paper's Apache queue plots)."""
-        return self.socket.queue_length + self._busy_workers
-
-    @property
-    def dropped_packets(self) -> int:
-        return self.socket.dropped
+        super().__init__(env, name, host, max_clients=max_clients,
+                         backlog=backlog, access_log_bytes=access_log_bytes,
+                         role="apache", cpu_source="apache_cpu")

@@ -5,6 +5,11 @@ well-provisioned (Table III: 48 connections, 10 MB query cache) and is
 never the bottleneck; it exists so that app-tier requests have a
 realistic downstream dependency.  Queries burn CPU on the database
 host; the connection pool bounds concurrency.
+
+``MySqlServer`` is the pooled service model of :mod:`repro.tiers.base`
+configured with MySQL's Table III defaults.  Behind a balancer (a
+replicated database tier), it also accepts dispatched traffic via
+``submit``.
 """
 
 from __future__ import annotations
@@ -12,68 +17,21 @@ from __future__ import annotations
 from typing import TYPE_CHECKING
 
 from repro.osmodel.host import Host
-from repro.sim.resources import Resource
-from repro.tiers.base import TierServer
-from repro.workload.request import Request
+from repro.tiers.base import PooledTier
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.sim.core import Environment
+
+__all__ = ["MySqlServer", "DEFAULT_MAX_CONNECTIONS"]
 
 #: Table III: total database connections.
 DEFAULT_MAX_CONNECTIONS = 48
 
 
-class MySqlServer(TierServer):
+class MySqlServer(PooledTier):
     """The database tier."""
 
     def __init__(self, env: "Environment", name: str, host: Host,
                  max_connections: int = DEFAULT_MAX_CONNECTIONS) -> None:
-        super().__init__(env, name, host)
-        if max_connections < 1:
-            raise ValueError("max_connections must be >= 1")
-        self.connections = Resource(env, capacity=max_connections)
-        self.queries_executed = 0
-
-    def query(self, request: Request):
-        """Process generator: run the request's queries on one connection.
-
-        The caller (an app-tier thread) holds one pooled connection for
-        all of the request's queries, mirroring a servlet that checks a
-        connection out of its pool for the whole request.
-        """
-        interaction = request.interaction
-        if interaction.db_queries == 0:
-            return
-        tracer = self.env.tracer
-        pool_span = (tracer.start(request.request_id, "mysql.pool_wait",
-                                  server=self.name)
-                     if tracer is not None else None)
-        service_span = None
-        try:
-            with self.connections.request() as connection:
-                yield connection
-                if tracer is not None:
-                    tracer.finish(pool_span)
-                    service_span = tracer.start(
-                        request.request_id, "mysql.service",
-                        server=self.name,
-                        queries=interaction.db_queries)
-                for _ in range(interaction.db_queries):
-                    yield from self.host.execute(interaction.mysql_cpu)
-                    self.queries_executed += 1
-        finally:
-            if tracer is not None:
-                tracer.finish(pool_span)
-                tracer.finish(service_span)
-        self.requests_completed += 1
-        self.bytes_served += interaction.traffic_bytes
-
-    @property
-    def queue_length(self) -> int:
-        """Requests waiting for a free connection."""
-        return self.connections.queue_length
-
-    @property
-    def in_server(self) -> int:
-        """Waiting plus executing requests."""
-        return self.connections.queue_length + self.connections.count
+        super().__init__(env, name, host, max_connections=max_connections,
+                         role="mysql", cpu_source="mysql_cpu")

@@ -10,6 +10,10 @@ The job queue itself is unbounded: the paper's drops happen at the web
 tier, not here.  What bounds inflow to a Tomcat is the connection
 (endpoint) pool on the Apache side plus the load balancer — which is
 the whole subject of the paper.
+
+``TomcatServer`` is the worker service model of
+:mod:`repro.tiers.base` configured with Tomcat's Table III defaults
+and the classic inline Tomcat→MySQL downstream call.
 """
 
 from __future__ import annotations
@@ -17,90 +21,26 @@ from __future__ import annotations
 from typing import TYPE_CHECKING
 
 from repro.osmodel.host import Host
-from repro.sim.events import Event
-from repro.sim.queues import Store
-from repro.tiers.base import TierServer
+from repro.tiers.base import PRE_DB_FRACTION, InlineDownstream, WorkerTier
 from repro.tiers.mysql import MySqlServer
-from repro.workload.request import Request
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.sim.core import Environment
 
+__all__ = ["TomcatServer", "DEFAULT_MAX_THREADS", "PRE_DB_FRACTION"]
+
 #: Table III: Tomcat maxThreads (full-scale value; experiments scale it).
 DEFAULT_MAX_THREADS = 210
-#: Fraction of app-tier CPU spent before the database call.
-PRE_DB_FRACTION = 0.6
 
 
-class TomcatServer(TierServer):
+class TomcatServer(WorkerTier):
     """One application server."""
 
     def __init__(self, env: "Environment", name: str, host: Host,
                  mysql: MySqlServer,
                  max_threads: int = DEFAULT_MAX_THREADS) -> None:
-        super().__init__(env, name, host)
-        if max_threads < 1:
-            raise ValueError("max_threads must be >= 1")
+        super().__init__(env, name, host, max_threads=max_threads,
+                         downstream=InlineDownstream(mysql),
+                         role="tomcat", cpu_source="tomcat_cpu",
+                         pre_fraction=PRE_DB_FRACTION)
         self.mysql = mysql
-        self.max_threads = max_threads
-        self.jobs: Store = Store(env)
-        self._busy_threads = 0
-        self._threads = [env.process(self._worker())
-                         for _ in range(max_threads)]
-
-    # -- data path ---------------------------------------------------------
-    def submit(self, request: Request, reply: Event) -> None:
-        """Enqueue a request; ``reply`` triggers with the request when done.
-
-        Non-blocking: the kernel buffers the message even when every
-        worker thread is frozen by a millibottleneck.
-        """
-        tracer = self.env.tracer
-        if tracer is not None:
-            tracer.start_named(request.request_id, "tomcat.queue_wait",
-                               server=self.name)
-        self.jobs.put((request, reply))
-
-    def _worker(self):
-        while True:
-            request, reply = yield self.jobs.get()
-            self._busy_threads += 1
-            tracer = self.env.tracer
-            span = None
-            if tracer is not None:
-                tracer.finish_named(request.request_id,
-                                    "tomcat.queue_wait")
-                span = tracer.start(request.request_id, "tomcat.service",
-                                    server=self.name)
-            try:
-                interaction = request.interaction
-                yield from self.host.execute(
-                    interaction.tomcat_cpu * PRE_DB_FRACTION)
-                yield from self.mysql.query(request)
-                yield from self.host.execute(
-                    interaction.tomcat_cpu * (1.0 - PRE_DB_FRACTION))
-                # Access + servlet + localhost logs: buffered writes that
-                # dirty the page cache.
-                self.host.write_file(interaction.log_bytes)
-                self.requests_completed += 1
-                self.bytes_served += interaction.traffic_bytes
-                reply.succeed(request)
-            finally:
-                self._busy_threads -= 1
-                if tracer is not None:
-                    tracer.finish(span)
-
-    # -- observability -------------------------------------------------------
-    @property
-    def queue_length(self) -> int:
-        """Jobs waiting for a worker thread."""
-        return len(self.jobs)
-
-    @property
-    def busy_threads(self) -> int:
-        return self._busy_threads
-
-    @property
-    def in_server(self) -> int:
-        """Waiting plus in-service requests (the paper's queue plots)."""
-        return len(self.jobs) + self._busy_threads

@@ -27,7 +27,9 @@ from repro.tracing.critical_path import (
     QUEUE_WAIT_BUCKETS,
     VLRT_CAUSE_BUCKETS,
     CriticalPath,
+    bucket_for,
     decompose,
+    is_vlrt_cause,
 )
 from repro.tracing.explain import VlrtExplanation, explain_vlrt
 from repro.tracing.export import (
@@ -47,9 +49,11 @@ __all__ = [
     "Span",
     "SpanTracer",
     "VlrtExplanation",
+    "bucket_for",
     "chrome_trace",
     "decompose",
     "explain_vlrt",
+    "is_vlrt_cause",
     "trace_report",
     "trace_to_dict",
     "write_chrome_trace",

@@ -23,7 +23,7 @@ if TYPE_CHECKING:  # pragma: no cover
     from repro.tracing.spans import RequestTrace, Span
 
 __all__ = ["BUCKET_OF_SPAN", "QUEUE_WAIT_BUCKETS", "VLRT_CAUSE_BUCKETS",
-           "CriticalPath", "decompose"]
+           "CriticalPath", "bucket_for", "decompose", "is_vlrt_cause"]
 
 #: Span name -> latency bucket.  Unknown span names fall into "other".
 BUCKET_OF_SPAN: dict[str, str] = {
@@ -56,6 +56,34 @@ QUEUE_WAIT_BUCKETS = frozenset((
 #: The paper's two VLRT mechanisms: TCP retransmission after a drop,
 #: and queue wait behind a millibottleneck (§III).
 VLRT_CAUSE_BUCKETS = frozenset(("retransmission",)) | QUEUE_WAIT_BUCKETS
+
+
+def bucket_for(name: str) -> str:
+    """Latency bucket of one span name.
+
+    Classic span names map through :data:`BUCKET_OF_SPAN`; the tiers of
+    a declarative topology (:mod:`repro.cluster.spec`) prefix the same
+    span kinds with their own role names, so ``backend.queue_wait`` or
+    ``db.pool_wait`` attribute by suffix to ``queue_wait.backend`` /
+    ``queue_wait.db`` and so on.  Anything else lands in ``other``.
+    """
+    bucket = BUCKET_OF_SPAN.get(name)
+    if bucket is not None:
+        return bucket
+    role, dot, kind = name.rpartition(".")
+    if dot:
+        if kind in ("queue_wait", "pool_wait"):
+            return "queue_wait." + role
+        if kind == "service":
+            return "service." + role
+    return "other"
+
+
+def is_vlrt_cause(bucket: str) -> bool:
+    """Whether ``bucket`` is one of the paper's two VLRT mechanisms
+    (retransmission backoff, or queue wait at any tier)."""
+    return (bucket in VLRT_CAUSE_BUCKETS
+            or bucket.startswith("queue_wait."))
 
 
 @dataclass
@@ -124,6 +152,6 @@ def _accumulate(span: "Span", lo: float, hi: float,
         # Siblings overlapped (concurrent hops); the parent cannot be
         # charged negative time.
         self_time = 0.0
-    bucket = BUCKET_OF_SPAN.get(span.name, "other")
+    bucket = bucket_for(span.name)
     buckets[bucket] = buckets.get(bucket, 0.0) + self_time
     return end - start

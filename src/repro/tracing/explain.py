@@ -15,9 +15,9 @@ from typing import TYPE_CHECKING, Iterable, Optional
 
 from repro.metrics.stats import VLRT_THRESHOLD
 from repro.tracing.critical_path import (
-    VLRT_CAUSE_BUCKETS,
     CriticalPath,
     decompose,
+    is_vlrt_cause,
 )
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -49,7 +49,7 @@ class VlrtExplanation:
         if self.vlrt_count == 0:
             return 1.0
         explained = sum(count for cause, count in self.by_cause.items()
-                        if cause in VLRT_CAUSE_BUCKETS)
+                        if is_vlrt_cause(cause))
         return explained / self.vlrt_count
 
     def render(self) -> str:

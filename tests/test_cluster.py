@@ -115,14 +115,18 @@ class TestBuildSystem:
                                tomcat_millibottlenecks=True)
         assert all(t.host.flush_profile.enabled for t in system2.tomcats)
 
-    def test_no_balancer_requires_single_node(self):
-        env = Environment()
-        with pytest.raises(ConfigurationError):
-            build_system(env, ScaleProfile(), use_balancer=False)
-        system = build_system(Environment(), ScaleProfile.single_node(),
+    def test_no_balancer_round_robins_all_replicas(self):
+        system = build_system(Environment(), ScaleProfile(),
                               use_balancer=False)
-        assert system.direct_dispatchers
+        assert len(system.direct_dispatchers) == 4
         assert not system.balancers
+        for dispatcher in system.direct_dispatchers:
+            assert [backend.name for backend in dispatcher.backends] == [
+                "tomcat1", "tomcat2", "tomcat3", "tomcat4"]
+        system2 = build_system(Environment(), ScaleProfile.single_node(),
+                               use_balancer=False)
+        assert system2.direct_dispatchers
+        assert not system2.balancers
 
     def test_requires_bundle_or_factories(self):
         env = Environment()

@@ -351,6 +351,50 @@ class TestUnboundedRetryRule:
         """) == []
 
 
+class TestSeedThreadingRule:
+    def test_builder_without_rng_fires(self):
+        assert "SEED001" in codes("""
+            def make(env, profile, bundle):
+                return build_system(env, profile, bundle=bundle)
+        """)
+
+    def test_spec_builder_without_rng_fires(self):
+        assert "SEED001" in codes("""
+            def make(env, spec):
+                return build_from_spec(env, spec)
+        """)
+
+    def test_rng_keyword_is_clean(self):
+        assert codes("""
+            def make(env, profile, bundle, rng):
+                return build_system(env, profile, bundle=bundle, rng=rng)
+        """) == []
+
+    def test_rng_positional_is_clean(self):
+        assert codes("""
+            def make(env, spec, profile, rng):
+                return build_from_spec(env, spec, profile, rng)
+        """) == []
+
+    def test_kwargs_passthrough_is_clean(self):
+        assert codes("""
+            def make(env, spec, **kwargs):
+                return build_from_spec(env, spec, **kwargs)
+        """) == []
+
+    def test_fault_injector_without_rng_fires(self):
+        assert "SEED001" in codes("""
+            def arm(env):
+                return FaultInjector(env)
+        """)
+
+    def test_unrelated_call_is_clean(self):
+        assert codes("""
+            def make(env):
+                return build_widget(env)
+        """) == []
+
+
 # -- engine behaviour -----------------------------------------------------
 
 class TestSuppressions:
@@ -438,7 +482,7 @@ class TestEngine:
 
     def test_every_rule_has_id_and_codes(self):
         ids = [rule.id for rule in RULES]
-        assert len(ids) == len(set(ids)) == 7
+        assert len(ids) == len(set(ids)) == 8
         for rule in RULES:
             assert rule.codes, rule.id
             assert rule.description, rule.id

@@ -96,7 +96,7 @@ class TestMySqlServer:
     def test_validation(self):
         env = Environment()
         host = Host(env, "m")
-        with pytest.raises(ValueError):
+        with pytest.raises(ConfigurationError):
             MySqlServer(env, "m", host, max_connections=0)
 
 
@@ -155,7 +155,7 @@ class TestTomcatServer:
         env = Environment()
         mysql, _ = make_stack(env)
         host = Host(env, "t")
-        with pytest.raises(ValueError):
+        with pytest.raises(ConfigurationError):
             TomcatServer(env, "t", host, mysql, max_threads=0)
 
 

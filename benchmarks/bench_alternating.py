@@ -1,0 +1,57 @@
+"""Measure one kernel on the four microbenchmark workloads.
+
+This is the measurement half of the BENCH_kernel.json regeneration
+recipe: run it alternately with ``PYTHONPATH`` pointing at the seed
+worktree and at the current tree, several times, and take the
+per-workload best of each side.  Alternating whole processes (rather
+than measuring each kernel once) cancels the slow drift of a shared
+measurement host; best-of-N inside each process cancels the fast
+jitter.
+
+Usage::
+
+    git worktree add /tmp/seedwt dd9ee6e
+    for i in 1 2 3 4; do
+        PYTHONPATH=/tmp/seedwt/src python benchmarks/bench_alternating.py
+        PYTHONPATH=src           python benchmarks/bench_alternating.py
+    done
+
+Prints one JSON object of ``workload -> best events/sec`` per run.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import sys
+import time
+
+sys.path.insert(0, str(pathlib.Path(__file__).parent))
+
+from repro.sim.core import Environment  # noqa: E402  (PYTHONPATH selects kernel)
+
+import test_kernel_throughput as bench  # noqa: E402
+
+ROUNDS = int(sys.argv[1]) if len(sys.argv) > 1 else 3
+
+
+def main() -> None:
+    results: dict[str, float] = {}
+    for _ in range(ROUNDS):
+        # Round-robin the workloads inside each round so drift hits all
+        # four equally instead of biasing whichever ran last.
+        for workload in bench.WORKLOADS:
+            env = Environment()
+            workload(env, bench.N_EVENTS)
+            start = time.perf_counter()
+            env.run()
+            elapsed = time.perf_counter() - start
+            eps = env._eid / elapsed
+            name = workload.__name__
+            if eps > results.get(name, 0.0):
+                results[name] = eps
+    print(json.dumps(results))
+
+
+if __name__ == "__main__":
+    main()

@@ -33,8 +33,11 @@ from repro.cluster.config import ScaleProfile
 from repro.cluster.runner import ExperimentConfig, ExperimentRunner
 
 #: Upper bound on traced-vs-untraced wall time for the full scenario.
-#: Measured ~1.5x (see BENCH_kernel.json); 2.0x leaves noise room.
-MAX_TRACED_RATIO = 2.0
+#: The round-2 tracer measures ~1.26x (see BENCH_kernel.json round2);
+#: 1.6x leaves noise room on shared runners while still failing if the
+#: inlined span construction path regresses toward the seed's 1.48x
+#: plus drift.
+MAX_TRACED_RATIO = 1.6
 
 
 def scenario_config(trace_requests: bool) -> ExperimentConfig:
@@ -46,13 +49,25 @@ def scenario_config(trace_requests: bool) -> ExperimentConfig:
         trace_requests=trace_requests)
 
 
-def _best_wall_time(config: ExperimentConfig, rounds: int = 3):
-    best, result = float("inf"), None
+def _best_wall_time_pair(rounds: int = 4):
+    """Interleaved untraced/traced runs, best wall time of each.
+
+    Alternating the two variants inside one loop (instead of timing
+    all untraced runs and then all traced runs) cancels host-speed
+    drift between the two measurements — the ratio of bests is what
+    the overhead bound asserts, and drift shows up identically in
+    both numerators.
+    """
+    best_untraced = best_traced = float("inf")
+    untraced = traced = None
     for _ in range(rounds):
         start = time.perf_counter()
-        result = ExperimentRunner(config).run()
-        best = min(best, time.perf_counter() - start)
-    return best, result
+        untraced = ExperimentRunner(scenario_config(False)).run()
+        best_untraced = min(best_untraced, time.perf_counter() - start)
+        start = time.perf_counter()
+        traced = ExperimentRunner(scenario_config(True)).run()
+        best_traced = min(best_traced, time.perf_counter() - start)
+    return best_untraced, untraced, best_traced, traced
 
 
 def test_kernel_throughput_unaffected_with_tracing_off(benchmark):
@@ -81,10 +96,8 @@ def test_traced_scenario_overhead_is_bounded(benchmark):
     box = {}
 
     def work():
-        box["untraced_s"], box["untraced"] = _best_wall_time(
-            scenario_config(False))
-        box["traced_s"], box["traced"] = _best_wall_time(
-            scenario_config(True))
+        (box["untraced_s"], box["untraced"],
+         box["traced_s"], box["traced"]) = _best_wall_time_pair()
 
     benchmark.pedantic(work, rounds=1, iterations=1)
     untraced, traced = box["untraced"], box["traced"]

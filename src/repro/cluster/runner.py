@@ -31,7 +31,7 @@ from repro.metrics.windows import PAPER_WINDOW
 from repro.netmodel.tcp import RetransmissionPolicy
 from repro.resilience import ResilienceConfig
 from repro.sim.core import Environment
-from repro.sim.monitor import Sampler
+from repro.sim.monitor import MonitorHub, Sampler
 from repro.tracing.spans import SpanTracer
 from repro.workload.generator import ClientPopulation
 from repro.workload.mix import WorkloadMix, read_write_mix
@@ -72,6 +72,12 @@ class ExperimentConfig:
     #: Off by default: tracing is pure observation (the event schedule
     #: is identical either way) but retains every span in memory.
     trace_requests: bool = False
+    #: Drain all samplers from one :class:`~repro.sim.monitor.MonitorHub`
+    #: tick instead of one process per sampler.  Off by default — the
+    #: per-sampler timeout events are part of the pinned golden event
+    #: trace — but essential at the large-N axis, where per-replica
+    #: samplers would otherwise dominate the schedule.
+    batched_sampling: bool = False
     #: Declarative topology to build instead of the classic 3-tier
     #: shape.  Balanced boundaries without a bundle of their own fall
     #: back to ``bundle_key``; ``use_balancer`` and the
@@ -309,10 +315,12 @@ class ExperimentRunner:
                    if config.resilience is not None else None),
         )
 
+        hub = (MonitorHub(env, period=config.sample_window)
+               if config.batched_sampling else None)
         queue_samplers = {
             server.name: Sampler(env, _probe(server),
                                  period=config.sample_window,
-                                 name=server.name)
+                                 name=server.name, hub=hub)
             for server in system.servers
         }
         dirty_samplers = {}
@@ -320,7 +328,7 @@ class ExperimentRunner:
             dirty_samplers = {
                 host.name: Sampler(env, _dirty_probe(host),
                                    period=config.sample_window,
-                                   name=host.name)
+                                   name=host.name, hub=hub)
                 for host in system.hosts
             }
 

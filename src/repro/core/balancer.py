@@ -105,6 +105,19 @@ class LoadBalancer:
         #: Whether members carry circuit breakers (see install_breakers).
         self._breaker_gate = False
         self.breaker_rejections = 0
+        #: Fast-path flag: while every member is Available, ``_pick``
+        #: skips the per-member eligibility scan entirely — the O(N)
+        #: filter per dispatch is the scan cliff at large member
+        #: counts.  Members notify on every state transition (rare:
+        #: transitions only happen around endpoint failures/recoveries)
+        #: and the flag is recomputed then.
+        self._all_available = True
+        for member in self.members:
+            member.on_state_change = self._member_state_changed
+
+    def _member_state_changed(self, member: BalancerMember) -> None:
+        self._all_available = all(
+            m.state is MemberState.AVAILABLE for m in self.members)
 
     # -- resilience wiring ----------------------------------------------------
     def install_breakers(self, breakers: Sequence) -> None:
@@ -137,6 +150,11 @@ class LoadBalancer:
         non-Error member may be retried; if all members are Error,
         ``None`` signals NoCandidate.
         """
+        if self._all_available and not self._breaker_gate:
+            # Every member is Available, so the eligibility filter
+            # would return all of them: hand the member list to the
+            # policy as-is (policies only read the sequence).
+            return self.policy.select(self.members, self._rng)
         now = self.env.now
         eligible = [m for m in self.members if m.eligible(now)]
         if self._breaker_gate and eligible:

@@ -86,6 +86,10 @@ class BalancerMember:
         #: :meth:`~repro.core.balancer.LoadBalancer.install_breakers`;
         #: ``None`` (the default) keeps the breaker path dormant.
         self.breaker = None
+        #: Called as ``on_state_change(self)`` after every *actual*
+        #: 3-state transition (never on no-op re-marks).  The balancer
+        #: uses it to maintain its all-available fast path.
+        self.on_state_change = None
 
     @property
     def name(self) -> str:
@@ -164,16 +168,26 @@ class BalancerMember:
         self.state = MemberState.BUSY
         self.busy_since = now
         self.busy_retries = 1
+        if self.on_state_change is not None:
+            self.on_state_change(self)
 
     def mark_error(self) -> None:
         self.state = MemberState.ERROR
         self.error_since = self.env.now
+        if self.on_state_change is not None:
+            self.on_state_change(self)
 
     def mark_available(self) -> None:
+        if self.state is MemberState.AVAILABLE:
+            # Re-marks happen on every successful acquisition; only an
+            # actual transition resets the bookkeeping (and notifies).
+            return
         self.state = MemberState.AVAILABLE
         self.busy_since = None
         self.error_since = None
         self.busy_retries = 0
+        if self.on_state_change is not None:
+            self.on_state_change(self)
 
     def eligible(self, now: float) -> bool:
         """Whether the selector may pick this member right now."""

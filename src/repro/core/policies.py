@@ -191,6 +191,39 @@ class TwoChoicesPolicy(Policy):
         return a if (a.inflight, a.index) <= (b.inflight, b.index) else b
 
 
+class PowerOfDPolicy(Policy):
+    """JSQ(d): sample ``d`` members uniformly, take the least loaded.
+
+    The mean-field generalisation of :class:`TwoChoicesPolicy`, and the
+    policy the large-N axis runs on: selection cost is O(d) regardless
+    of the member count, where every full-scan policy (``min`` over
+    eligible) pays O(N) per request — the per-replica scan cliff that
+    dominates once tiers reach hundreds of replicas.  Sampling is with
+    replacement, matching the asymptotic model whose waiting-time
+    prediction ``benchmarks/test_largeN_meanfield.py`` checks.
+    """
+
+    name = "jsq_d"
+    cumulative = False
+
+    def __init__(self, d: int = 2) -> None:
+        if d < 1:
+            raise ConfigurationError("d must be >= 1")
+        self.d = d
+
+    def select(self, eligible: Sequence[BalancerMember],
+               rng: np.random.Generator) -> BalancerMember:
+        n = len(eligible)
+        if n <= self.d:
+            return min(eligible, key=lambda m: (m.inflight, m.index))
+        best = eligible[int(rng.integers(n))]
+        for _ in range(self.d - 1):
+            other = eligible[int(rng.integers(n))]
+            if (other.inflight, other.index) < (best.inflight, best.index):
+                best = other
+        return best
+
+
 class EwmaLatencyPolicy(Policy):
     """Rank by an exponentially weighted moving average of response time.
 
@@ -238,6 +271,7 @@ POLICIES: dict[str, type] = {
         RoundRobinPolicy,
         RandomPolicy,
         TwoChoicesPolicy,
+        PowerOfDPolicy,
         EwmaLatencyPolicy,
     ]
 }

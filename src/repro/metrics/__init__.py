@@ -7,7 +7,11 @@ from the primitives in this package.
 """
 
 from repro.metrics.distribution import ResponseTimeDistribution
-from repro.metrics.recorder import CompletedRequest, ResponseTimeRecorder
+from repro.metrics.recorder import (
+    CompletedRequest,
+    ResponseTimeRecorder,
+    StreamingResponseTimeRecorder,
+)
 from repro.metrics.stats import (
     NORMAL_THRESHOLD,
     VLRT_THRESHOLD,
@@ -30,6 +34,7 @@ __all__ = [
     "PAPER_WINDOW",
     "ResponseTimeStats",
     "ResponseTimeRecorder",
+    "StreamingResponseTimeRecorder",
     "CompletedRequest",
     "ResponseTimeDistribution",
     "percentile",

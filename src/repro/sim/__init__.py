@@ -17,7 +17,7 @@ from repro.sim.events import (
     Interrupt,
     Timeout,
 )
-from repro.sim.monitor import Sampler, TraceLog
+from repro.sim.monitor import MonitorHub, Sampler, TraceLog
 from repro.sim.process import Process
 from repro.sim.queues import DropQueue, Store
 from repro.sim.resources import Container, PriorityResource, Request, Resource
@@ -38,6 +38,7 @@ __all__ = [
     "Container",
     "Store",
     "DropQueue",
+    "MonitorHub",
     "Sampler",
     "TraceLog",
     "NORMAL",

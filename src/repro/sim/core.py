@@ -1,9 +1,9 @@
 """The discrete-event simulation environment.
 
 :class:`Environment` owns the simulation clock and the pending-event
-heap.  Time is a ``float`` in **seconds**; the models in this package
-operate at sub-millisecond resolution, which is the whole point of
-studying millibottlenecks.
+schedule.  Time is a ``float`` in **seconds**; the models in this
+package operate at sub-millisecond resolution, which is the whole point
+of studying millibottlenecks.
 
 Typical usage::
 
@@ -20,32 +20,49 @@ Typical usage::
 Performance notes
 -----------------
 The event loop is the hot path of every experiment, so :meth:`run`
-inlines the dispatch loop instead of calling :meth:`step` per event:
-the heap, ``heappop`` and the clock are bound to locals, and the
-per-event work is four attribute operations plus the callback calls.
-Heap entries are ``(time, key, event)`` 3-tuples where ``key`` packs
-``(priority, sequence)`` into one integer, so tie-breaking costs a
-single int comparison and the event itself is never compared.
+inlines the dispatch loop instead of calling :meth:`step` per event.
+The schedule is a :class:`~repro.sim.calendar.CalendarQueue` — O(1)
+insert and pop for the clustered event-time distributions a DES
+produces, against O(log n) heap sifts — and :meth:`run` inlines the
+queue's pop fast path (an index bump on the current bucket) so the
+per-event cost is a handful of attribute operations plus the callback
+calls.  Entries are ``(time, key, event)`` 3-tuples where ``key``
+packs ``(priority, sequence)`` into one integer, so tie-breaking costs
+a single int comparison, the event itself is never compared, and pop
+order is byte-identical to the binary-heap kernel this replaced (the
+golden-trace tests pin that contract).
+
+The second lever is allocation churn: :class:`Timeout` and plain
+:class:`Event` objects are recycled through per-environment free
+lists.  After an event's callbacks have run, the dispatch loop
+recycles it *only* when ``sys.getrefcount`` proves the loop holds the
+sole remaining reference — an event still referenced by a process,
+condition, or user variable is simply left to the garbage collector.
+See ``DESIGN.md §12`` for the full lifecycle.
 
 :attr:`Environment.trace`, when set to a callable, is invoked as
-``trace(time, event)`` for every event popped off the heap.  It costs
-nothing when unset: :meth:`run` selects a loop variant without the
-hook at entry.  The golden-trace determinism tests are built on it.
+``trace(time, event)`` for every event popped off the schedule.  It
+costs nothing when unset: :meth:`run` selects a loop variant without
+the hook at entry.  The golden-trace determinism tests are built on it.
 """
 
 from __future__ import annotations
 
-from heapq import heappop, heappush
+from bisect import insort
+from sys import getrefcount
 from typing import Any, Callable, Iterable, Optional
 
 from repro.errors import SimulationError, StopSimulation
+from repro.sim.calendar import CalendarQueue
 from repro.sim.events import (
     NORMAL,
+    POOL_MAX,
     URGENT,
     AllOf,
     AnyOf,
     Event,
     Timeout,
+    _PENDING,
 )
 from repro.sim.process import Process, ProcessGenerator
 
@@ -53,8 +70,8 @@ __all__ = ["Environment", "NORMAL", "URGENT"]
 
 _INF = float("inf")
 
-#: Bits reserved for the event sequence number inside a heap key.  A
-#: simulation would need ~100 years of wall-clock at current kernel
+#: Bits reserved for the event sequence number inside a schedule key.
+#: A simulation would need ~100 years of wall-clock at current kernel
 #: throughput to overflow 2**53 events, and Python ints widen anyway —
 #: ordering stays correct either way.
 _KEY_SHIFT = 53
@@ -70,14 +87,17 @@ class Environment:
         Clock value at the start of the simulation (seconds).
     """
 
-    __slots__ = ("_now", "_queue", "_eid", "_active_process", "trace",
-                 "tracer")
+    __slots__ = ("_now", "_sched", "_eid", "_active_process",
+                 "_timeout_pool", "_event_pool", "trace", "tracer")
 
     def __init__(self, initial_time: float = 0.0) -> None:
         self._now = float(initial_time)
-        self._queue: list[tuple[float, int, Event]] = []
+        self._sched = CalendarQueue(self._now)
         self._eid = 0
         self._active_process: Optional[Process] = None
+        #: Free lists for recycled events (see module docstring).
+        self._timeout_pool: list[Timeout] = []
+        self._event_pool: list[Event] = []
         #: Optional probe called as ``trace(time, event)`` for every
         #: event processed.  ``None`` (the default) is zero-cost.
         self.trace: Optional[Callable[[float, Event], None]] = None
@@ -100,66 +120,141 @@ class Environment:
 
     def peek(self) -> float:
         """Time of the next scheduled event, or ``inf`` if none remain."""
-        return self._queue[0][0] if self._queue else _INF
+        return self._sched.peek_time()
 
     def __len__(self) -> int:
-        return len(self._queue)
+        return len(self._sched)
 
     # -- scheduling ------------------------------------------------------
     def schedule(self, event: Event, priority: int = NORMAL,
-                 delay: float = 0.0, _push=heappush, _inf=_INF) -> None:
-        """Put a triggered event on the heap ``delay`` seconds from now.
+                 delay: float = 0.0, _inf=_INF) -> None:
+        """Put a triggered event on the schedule ``delay`` seconds out.
 
         ``delay`` must be finite and non-negative: a ``NaN`` or ``inf``
-        delay would silently corrupt the heap invariant (``NaN``
-        compares false against everything, breaking sift ordering) and
-        is rejected with :class:`SimulationError`.
+        delay would silently corrupt the schedule's ordering invariant
+        (``NaN`` compares false against everything, and the calendar's
+        slot arithmetic turns ``inf`` into nonsense indices) and is
+        rejected with :class:`SimulationError`.
         """
         if not 0.0 <= delay < _inf:
             raise SimulationError(
                 "delay must be finite and non-negative, got {!r}".format(
                     delay))
         self._eid = eid = self._eid + 1
-        _push(self._queue,
-              (self._now + delay, (priority << _KEY_SHIFT) | eid, event))
+        self._sched.push(
+            (self._now + delay, (priority << _KEY_SHIFT) | eid, event))
 
-    def _trigger_now(self, event: Event, _push=heappush,
-                     _key=_NORMAL_KEY) -> None:
-        """Internal: push an already-triggered event at the current time.
+    def _trigger_now(self, event: Event, _key=_NORMAL_KEY,
+                     _insort=insort) -> None:
+        """Internal: schedule an already-triggered event at the current
+        time.
 
         Fast path used by the resource/queue layers after they set the
-        event's ``_value`` directly — equivalent to
-        ``schedule(event)`` without the delay validation (there is no
-        delay) and without an extra call frame from ``succeed``.
+        event's ``_value`` directly — equivalent to ``schedule(event)``
+        without the delay validation (there is no delay) and without an
+        extra call frame from ``succeed``.  The calendar insert
+        collapses to one binary insertion: an entry at the current
+        clock can never map past the current slot (the slot mapping is
+        monotone and the clock equals the last popped entry's time), so
+        it always belongs in the current slot's undrained suffix —
+        every other pending entry is strictly later or, at the same
+        time, key-ordered by the insort.  Sequence numbers are
+        monotone, so the entry usually sorts after the whole suffix:
+        one tuple comparison against the tail replaces the bisection
+        (and its O(log n) equal-time tuple compares) in that case —
+        ``insort`` right-biases ties, so the append lands on the
+        identical position.
         """
         self._eid = eid = self._eid + 1
-        _push(self._queue, (self._now, _key | eid, event))
+        sched = self._sched
+        sched._count += 1
+        ready = sched._ready
+        entry = (self._now, _key | eid, event)
+        if len(ready) == sched._ready_idx or entry >= ready[-1]:
+            ready.append(entry)
+        else:
+            _insort(ready, entry, sched._ready_idx)
+
+    def _trigger_urgent_now(self, event: Event, _insort=insort) -> None:
+        """Internal: :meth:`_trigger_now` at ``URGENT`` priority.
+
+        ``URGENT << _KEY_SHIFT`` is zero, so the packed key is the bare
+        sequence number — byte-identical to what ``schedule(event,
+        URGENT)`` would produce.  Used for process initialisation and
+        interrupt delivery.
+        """
+        self._eid = eid = self._eid + 1
+        sched = self._sched
+        sched._count += 1
+        ready = sched._ready
+        entry = (self._now, eid, event)
+        if len(ready) == sched._ready_idx or entry >= ready[-1]:
+            ready.append(entry)
+        else:
+            _insort(ready, entry, sched._ready_idx)
 
     # -- event factories ---------------------------------------------------
     def event(self) -> Event:
-        """Create a fresh, untriggered event."""
+        """Create a fresh, untriggered event (drawn from the free list)."""
+        pool = self._event_pool
+        if pool:
+            event = pool.pop()
+            event._value = _PENDING
+            return event
         return Event(self)
 
-    def timeout(self, delay: float, value: Any = None, _push=heappush,
-                _new=Timeout.__new__, _cls=Timeout, _inf=_INF,
-                _key=_NORMAL_KEY) -> Timeout:
+    def timeout(self, delay: float, value: Any = None, _new=Timeout.__new__,
+                _cls=Timeout, _inf=_INF, _key=_NORMAL_KEY,
+                _insort=insort) -> Timeout:
         """Create an event that triggers ``delay`` seconds from now.
 
-        This is the kernel's dominant allocation, so it builds the
-        :class:`Timeout` directly — already triggered, skipping the
-        ``Timeout.__init__``/``Event.__init__``/``schedule`` call chain.
+        This is the kernel's dominant allocation, so it draws from the
+        :class:`Timeout` free list when possible (recycled instances
+        arrive pre-reset) and otherwise builds the instance directly —
+        already triggered, skipping the ``Timeout.__init__``/
+        ``Event.__init__``/``schedule`` call chain.  The calendar
+        insert is inlined for the same reason.
         """
         if not 0.0 <= delay < _inf:
             raise ValueError("invalid delay: {!r}".format(delay))
-        event = _new(_cls)
-        event.env = self
-        event.callbacks = []
-        event._value = value
-        event._ok = True
-        event._defused = False
-        event._delay = delay
+        pool = self._timeout_pool
+        if pool:
+            event = pool.pop()
+            event._value = value
+            event._delay = delay
+        else:
+            event = _new(_cls)
+            event.env = self
+            event.callbacks = []
+            event._value = value
+            event._ok = True
+            event._defused = False
+            event._delay = delay
         self._eid = eid = self._eid + 1
-        _push(self._queue, (self._now + delay, _key | eid, event))
+        t = self._now + delay
+        sched = self._sched
+        entry = (t, _key | eid, event)
+        sched._count += 1
+        if t >= sched._horizon:
+            sched.push_overflow(entry)
+            return event
+        idx = int((t - sched._base) * sched._inv_width)
+        if idx >= sched._nbuckets:
+            idx = sched._nbuckets - 1
+        if idx > sched._cur_slot:
+            sched._buckets[idx].append(entry)
+        else:
+            ready = sched._ready
+            if len(ready) == sched._ready_idx or entry >= ready[-1]:
+                ready.append(entry)
+            else:
+                _insort(ready, entry, sched._ready_idx)
+        # Growth check amortised to every 256th event: the sequence
+        # counter is already in hand, and resize points remain a pure
+        # function of the event sequence (determinism holds — resizing
+        # never changes pop order anyway).
+        if not eid & 255 and sched._count > sched._grow_at:
+            sched._resize(sched._nbuckets * 2)
         return event
 
     def process(self, generator: ProcessGenerator) -> Process:
@@ -180,16 +275,18 @@ class Environment:
 
         :meth:`run` does not call this — it inlines the same logic —
         but it remains the single-step API for tests and debuggers.
+        Events dispatched through :meth:`step` are never recycled, so
+        debugger sessions can hold on to them freely.
 
         Raises
         ------
         SimulationError
-            If the event heap is empty.
+            If the schedule is empty.
         """
-        try:
-            when, _, event = heappop(self._queue)
-        except IndexError:
-            raise SimulationError("no scheduled events") from None
+        entry = self._sched.pop()
+        if entry is None:
+            raise SimulationError("no scheduled events")
+        when, _, event = entry
 
         self._now = when
         if self.trace is not None:
@@ -238,14 +335,57 @@ class Environment:
 
         # The dispatch loop.  Everything the per-event path touches is
         # a local; the traced variant is split out so the common case
-        # pays nothing for the hook.
-        queue = self._queue
-        pop = heappop
+        # pays nothing for the hook.  The calendar pop fast path is
+        # inlined: consume the next cell of the current (sorted)
+        # bucket, nulling it out so the entry tuple dies immediately —
+        # a precondition for the refcount check below.  An event whose
+        # only remaining reference is the loop's local is invisible to
+        # the rest of the simulation, so it is reset and recycled onto
+        # the free list instead of being left for the collector.
+        sched = self._sched
+        advance = sched._advance
         trace = self.trace
+        tpool = self._timeout_pool
+        epool = self._event_pool
+        refcount = getrefcount
+        pool_max = POOL_MAX
+        pending = _PENDING
+        timeout_cls = Timeout
+        event_cls = Event
         try:
             if trace is None:
-                while queue:
-                    when, _, event = pop(queue)
+                while True:
+                    ridx = sched._ready_idx
+                    ready = sched._ready
+                    try:
+                        # IndexError <=> the current slot is drained.
+                        when, _, event = ready[ridx]
+                        ready[ridx] = None
+                        sched._ready_idx = ridx + 1
+                    except IndexError:
+                        # Probe the next slot inline (the dominant
+                        # slow-path case for sparse wheels) before
+                        # falling back to the generic advance; this
+                        # mirrors _advance's one-step bookkeeping.
+                        nxt = sched._cur_slot + 1
+                        bucket = (sched._buckets[nxt]
+                                  if nxt < sched._nbuckets else None)
+                        if bucket:
+                            sched._count -= ridx
+                            del ready[:]
+                            if len(bucket) > 1:
+                                bucket.sort()
+                            sched._cur_slot = nxt
+                            sched._ready = bucket
+                            sched._ready_idx = 1
+                            when, _, event = bucket[0]
+                            bucket[0] = None
+                        else:
+                            entry = advance()
+                            if entry is None:
+                                break
+                            when, _, event = entry
+                            del entry
                     self._now = when
                     callbacks = event.callbacks
                     event.callbacks = None
@@ -257,9 +397,55 @@ class Environment:
                             callback(event)
                     if not event._ok and not event._defused:
                         raise event._value
+                    cls = event.__class__
+                    if cls is timeout_cls:
+                        if refcount(event) == 2 and len(tpool) < pool_max:
+                            del callbacks[:]
+                            event.callbacks = callbacks
+                            event._value = None
+                            event._defused = False
+                            tpool.append(event)
+                    elif cls is event_cls:
+                        if refcount(event) == 2 and len(epool) < pool_max:
+                            del callbacks[:]
+                            event.callbacks = callbacks
+                            event._value = pending
+                            event._ok = True
+                            event._defused = False
+                            epool.append(event)
             else:
-                while queue:
-                    when, _, event = pop(queue)
+                while True:
+                    ridx = sched._ready_idx
+                    ready = sched._ready
+                    try:
+                        # IndexError <=> the current slot is drained.
+                        when, _, event = ready[ridx]
+                        ready[ridx] = None
+                        sched._ready_idx = ridx + 1
+                    except IndexError:
+                        # Probe the next slot inline (the dominant
+                        # slow-path case for sparse wheels) before
+                        # falling back to the generic advance; this
+                        # mirrors _advance's one-step bookkeeping.
+                        nxt = sched._cur_slot + 1
+                        bucket = (sched._buckets[nxt]
+                                  if nxt < sched._nbuckets else None)
+                        if bucket:
+                            sched._count -= ridx
+                            del ready[:]
+                            if len(bucket) > 1:
+                                bucket.sort()
+                            sched._cur_slot = nxt
+                            sched._ready = bucket
+                            sched._ready_idx = 1
+                            when, _, event = bucket[0]
+                            bucket[0] = None
+                        else:
+                            entry = advance()
+                            if entry is None:
+                                break
+                            when, _, event = entry
+                            del entry
                     self._now = when
                     trace(when, event)
                     callbacks = event.callbacks
@@ -268,6 +454,22 @@ class Environment:
                         callback(event)
                     if not event._ok and not event._defused:
                         raise event._value
+                    cls = event.__class__
+                    if cls is timeout_cls:
+                        if refcount(event) == 2 and len(tpool) < pool_max:
+                            del callbacks[:]
+                            event.callbacks = callbacks
+                            event._value = None
+                            event._defused = False
+                            tpool.append(event)
+                    elif cls is event_cls:
+                        if refcount(event) == 2 and len(epool) < pool_max:
+                            del callbacks[:]
+                            event.callbacks = callbacks
+                            event._value = pending
+                            event._ok = True
+                            event._defused = False
+                            epool.append(event)
         except StopSimulation as stop:
             return stop.value
 

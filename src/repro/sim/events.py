@@ -18,6 +18,21 @@ All event classes use ``__slots__``: events are allocated on every
 request/timeout/resource interaction, so avoiding the per-instance
 ``__dict__`` is one of the main levers behind the kernel's throughput
 (see ``benchmarks/test_kernel_throughput.py``).
+
+Free-list pooling
+-----------------
+:class:`Timeout` and plain :class:`Event` instances are additionally
+*recycled*: the dispatch loop in :meth:`Environment.run` returns a
+processed event to a per-environment free list when ``sys.getrefcount``
+proves the loop holds the sole remaining reference (capped at
+:data:`POOL_MAX` per class), and :meth:`Environment.timeout` /
+:meth:`Environment.event` draw from those lists before allocating.
+Recycled instances are reset to pristine pending state (callbacks list
+emptied and reattached, value/ok/defused cleared) *at recycle time*, so
+the factories' pool hit path is a ``list.pop`` plus two stores.  Exact
+``type() is`` checks keep subclasses (``Initialize``, ``Condition``,
+``Process``...) out of the pools.  Events dispatched via
+:meth:`Environment.step` are never recycled.
 """
 
 from __future__ import annotations
@@ -32,6 +47,11 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard
 # Scheduling priorities: lower value runs earlier at equal timestamps.
 URGENT = 0
 NORMAL = 1
+
+#: Cap on each per-environment free list.  Pools only grow while events
+#: die faster than they are created, so a few thousand covers the churn
+#: of any steady-state workload without pinning memory after a burst.
+POOL_MAX = 4096
 
 _PENDING = object()
 
@@ -99,7 +119,13 @@ class Event:
             raise SimulationError("event already triggered: {!r}".format(self))
         self._ok = True
         self._value = value
-        self.env.schedule(self, priority=priority)
+        # Zero-delay NORMAL scheduling is the dominant case; the
+        # environment's trigger fast path produces the identical
+        # schedule key without the delay-validation call chain.
+        if priority == NORMAL:
+            self.env._trigger_now(self)
+        else:
+            self.env.schedule(self, priority=priority)
         return self
 
     def fail(self, exception: BaseException, priority: int = NORMAL) -> "Event":
@@ -115,7 +141,10 @@ class Event:
             raise SimulationError("event already triggered: {!r}".format(self))
         self._ok = False
         self._value = exception
-        self.env.schedule(self, priority=priority)
+        if priority == NORMAL:
+            self.env._trigger_now(self)
+        else:
+            self.env.schedule(self, priority=priority)
         return self
 
     def trigger(self, event: "Event") -> None:
@@ -124,7 +153,7 @@ class Event:
             raise SimulationError("event already triggered: {!r}".format(self))
         self._ok = event._ok
         self._value = event._value
-        self.env.schedule(self)
+        self.env._trigger_now(self)
 
     # -- combinators -----------------------------------------------------
     def __and__(self, other: "Event") -> "Condition":

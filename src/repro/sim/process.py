@@ -20,7 +20,7 @@ from __future__ import annotations
 from typing import TYPE_CHECKING, Any, Callable, Generator, Optional
 
 from repro.errors import SimulationError
-from repro.sim.events import _PENDING, URGENT, Event, Initialize, Interrupt
+from repro.sim.events import _PENDING, Event, Initialize, Interrupt
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.sim.core import Environment
@@ -61,7 +61,7 @@ class Process(Event):
         init._value = None
         init._ok = True
         init._defused = False
-        env.schedule(init, priority=URGENT)
+        env._trigger_urgent_now(init)
 
     def __repr__(self) -> str:
         name = getattr(self._generator, "__name__", repr(self._generator))
@@ -96,7 +96,7 @@ class Process(Event):
         interrupt_event._value = Interrupt(cause)
         interrupt_event._defused = True
         interrupt_event.callbacks.append(self._deliver_interrupt)
-        self.env.schedule(interrupt_event, priority=URGENT)
+        self.env._trigger_urgent_now(interrupt_event)
 
     def _deliver_interrupt(self, event: Event) -> None:
         """Deliver an interrupt unless the process finished in the meantime.
@@ -118,15 +118,18 @@ class Process(Event):
         while True:
             # Detach from the previous target: if we were interrupted
             # while waiting, the old target may fire later and must not
-            # resume us again.
+            # resume us again.  The dominant resume is by the target
+            # itself (already processed, callbacks gone), so that case
+            # skips straight to clearing the reference.
             target = self._target
             if target is not None:
-                callbacks = target.callbacks
-                if callbacks is not None:
-                    try:
-                        callbacks.remove(resume_cb)
-                    except ValueError:
-                        pass
+                if target is not event:
+                    callbacks = target.callbacks
+                    if callbacks is not None:
+                        try:
+                            callbacks.remove(resume_cb)
+                        except ValueError:
+                            pass
                 self._target = None
 
             try:
@@ -147,7 +150,12 @@ class Process(Event):
                 env._trigger_now(self)
                 break
 
-            if not isinstance(next_event, Event):
+            # Duck-typed instead of isinstance(next_event, Event): only
+            # events carry ``callbacks``, and the per-yield isinstance
+            # check is measurable on this, the kernel's hottest loop.
+            try:
+                callbacks = next_event.callbacks
+            except AttributeError:
                 exc = SimulationError(
                     "process yielded a non-event: {!r}".format(next_event))
                 try:
@@ -157,8 +165,6 @@ class Process(Event):
                 except BaseException as err:
                     self._outcome_fail(err)
                 break
-
-            callbacks = next_event.callbacks
             if callbacks is not None:
                 # Pending or triggered-but-unprocessed: wait for it.
                 self._target = next_event
@@ -173,9 +179,9 @@ class Process(Event):
     def _outcome_ok(self, value: Any) -> None:
         self._ok = True
         self._value = value
-        self.env.schedule(self)
+        self.env._trigger_now(self)
 
     def _outcome_fail(self, exc: BaseException) -> None:
         self._ok = False
         self._value = exc
-        self.env.schedule(self)
+        self.env._trigger_now(self)

@@ -22,6 +22,7 @@ A pending request can also be *cancelled* — this is essential for
 
 from __future__ import annotations
 
+from collections import deque
 from typing import TYPE_CHECKING, Any, Optional
 
 from repro.errors import SimulationError
@@ -39,6 +40,8 @@ class Request(Event):
     def __init__(self, resource: "Resource", priority: float = 0.0) -> None:
         # Event.__init__ inlined: a request is allocated per served
         # request per tier, one of the kernel's dominant allocations.
+        # (``Resource.request`` builds instances via ``__new__`` with
+        # the same field layout; keep the two in sync.)
         env = resource.env
         self.env = env
         self.callbacks = []
@@ -87,7 +90,7 @@ class Resource:
         self.env = env
         self._capacity = int(capacity)
         self._users: list[Request] = []
-        self._waiting: list[Request] = []
+        self._waiting: deque[Request] = deque()
 
     def __repr__(self) -> str:
         return "<{} capacity={} in_use={} queued={}>".format(
@@ -113,9 +116,28 @@ class Resource:
         """Number of requests waiting for a slot."""
         return len(self._waiting)
 
-    def request(self, priority: float = 0.0) -> Request:
+    def request(self, priority: float = 0.0, _new=Request.__new__,
+                _cls=Request) -> Request:
         """Claim one slot; the returned event triggers when granted."""
-        return Request(self, priority)
+        event = _new(_cls)
+        env = self.env
+        event.env = env
+        event.callbacks = []
+        event._ok = True
+        event._defused = False
+        event.resource = self
+        event.priority = priority
+        event.issued_at = env._now
+        users = self._users
+        if len(users) < self._capacity and not self._waiting:
+            users.append(event)
+            # Fresh request: trigger directly, skipping succeed().
+            event._value = event
+            env._trigger_now(event)
+        else:
+            event._value = _PENDING
+            self._insert_waiting(event)
+        return event
 
     def release(self, request: Request) -> None:
         """Return a granted slot to the pool and admit the next waiter."""
@@ -131,7 +153,7 @@ class Resource:
             env = self.env
             capacity = self._capacity
             while waiting and len(users) < capacity:
-                nxt = waiting.pop(0)
+                nxt = waiting.popleft()
                 users.append(nxt)
                 nxt._value = nxt
                 env._trigger_now(nxt)
@@ -159,7 +181,7 @@ class Resource:
     def _grant_next(self) -> None:
         env = self.env
         while self._waiting and len(self._users) < self._capacity:
-            request = self._waiting.pop(0)
+            request = self._waiting.popleft()
             self._users.append(request)
             request._value = request
             env._trigger_now(request)

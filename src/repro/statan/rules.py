@@ -22,6 +22,10 @@ retry-bound    RETRY001 ``while True`` retry loops (pause + ``continue``)
 seed-threading SEED001 system/fault builders called without threading the
                        experiment's injected RNG (silent fallback to
                        ``DEFAULT_BUILD_SEED``)
+perf-hot-path  PERF00x direct ``heapq`` use outside the calendar-queue
+                       module, and per-event ``Event``/``Timeout``/``Span``
+                       construction inside loops in ``sim``/``tracing``
+                       hot paths that bypass the free-list/factory APIs
 ============== ======= ========================================================
 
 Every check here exists because its bug class silently corrupts a
@@ -41,7 +45,8 @@ from repro.statan.engine import Context, Rule, Severity
 __all__ = [
     "DeterminismRule", "ProcessProtocolRule", "ResourceSafetyRule",
     "FloatTimeComparisonRule", "MissingSlotsRule", "BadDelayRule",
-    "UnboundedRetryRule", "SeedThreadingRule", "default_rules", "RULES",
+    "UnboundedRetryRule", "SeedThreadingRule", "PerfHotPathRule",
+    "default_rules", "RULES",
 ]
 
 
@@ -701,6 +706,106 @@ class SeedThreadingRule(Rule):
                    "seed; thread the injected generator".format(short))
 
 
+# -- hot-path performance -------------------------------------------------
+
+#: heapq functions whose bare-name use marks a hand-rolled heap.
+_HEAPQ_FUNCS = {
+    "heappush", "heappop", "heapify", "heappushpop", "heapreplace",
+    "nsmallest", "nlargest",
+}
+#: Per-event classes whose direct construction bypasses a free list or
+#: inline factory (``env.timeout()``/``env.event()``/the tracer's
+#: ``__new__``-based span builders).
+_POOLED_CLASSES = {"Event", "Timeout", "Span"}
+#: The scheduler module owns the overflow heap; it is the one place
+#: heapq belongs.
+_SCHEDULER_MODULE = "calendar.py"
+
+
+class PerfHotPathRule(Rule):
+    """Hot paths must go through the scheduler and pool APIs.
+
+    The round-2 kernel work moved every per-event cost behind two
+    chokepoints: the :class:`~repro.sim.calendar.CalendarQueue` (the
+    only sanctioned event ordering structure — its overflow heap is an
+    implementation detail of ``calendar.py``) and the free-list/inline
+    factories (``env.timeout()``, ``env.event()``, the tracer's
+    ``Span.__new__`` builders).  Code under ``sim``/``tracing`` that
+    hand-rolls a ``heapq`` schedule re-introduces the O(log n) sifts
+    the calendar queue replaced, and a loop that constructs
+    ``Event``/``Timeout``/``Span`` instances directly re-introduces the
+    allocation churn the pools eliminated — both are invisible in tests
+    and only surface as a throughput regression in ``bench-smoke``.
+    """
+
+    id = "perf-hot-path"
+    description = "hot-path code bypassing the scheduler/pool APIs"
+    codes = ("PERF001", "PERF002")
+
+    def make_visitor(self, ctx: Context) -> ast.NodeVisitor:
+        rule = self
+        parts = ctx.path.replace("\\", "/").split("/")
+        applies = "sim" in parts or "tracing" in parts
+        is_scheduler = parts[-1] == _SCHEDULER_MODULE
+
+        class Visitor(ast.NodeVisitor):
+            def __init__(self) -> None:
+                self._loop_depth = 0
+
+            def visit_Import(self, node: ast.Import) -> None:
+                if applies and not is_scheduler:
+                    for alias in node.names:
+                        if alias.name.split(".", 1)[0] == "heapq":
+                            rule._report_heapq(ctx, node)
+
+            def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
+                if (applies and not is_scheduler and not node.level
+                        and node.module == "heapq"):
+                    rule._report_heapq(ctx, node)
+
+            def visit_Call(self, node: ast.Call) -> None:
+                if applies:
+                    rule._check_call(ctx, node, is_scheduler,
+                                     self._loop_depth)
+                self.generic_visit(node)
+
+            def visit_For(self, node: ast.For) -> None:
+                self._loop_depth += 1
+                self.generic_visit(node)
+                self._loop_depth -= 1
+
+            visit_While = visit_For
+
+        return Visitor()
+
+    def _report_heapq(self, ctx: Context, node: ast.AST) -> None:
+        ctx.report(node, "PERF001", self.id, Severity.WARNING,
+                   "direct heapq use in a sim/tracing hot path: event "
+                   "ordering belongs to the CalendarQueue scheduler "
+                   "(Environment.schedule/timeout); hand-rolled heaps "
+                   "re-introduce the O(log n) sifts it replaced")
+
+    def _check_call(self, ctx: Context, node: ast.Call,
+                    is_scheduler: bool, loop_depth: int) -> None:
+        name = _dotted(node.func)
+        if name is None:
+            return
+        root = name.split(".", 1)[0]
+        short = name.rsplit(".", 1)[-1]
+        if not is_scheduler and (root == "heapq"
+                                 or ("." not in name
+                                     and short in _HEAPQ_FUNCS)):
+            self._report_heapq(ctx, node)
+            return
+        if loop_depth and "." not in name and short in _POOLED_CLASSES:
+            ctx.report(node, "PERF002", self.id, Severity.WARNING,
+                       "per-event {}(...) construction inside a loop "
+                       "bypasses the free-list/factory APIs; use "
+                       "env.timeout()/env.event() (or the tracer's "
+                       "span builders), or hoist the allocation out "
+                       "of the loop".format(short))
+
+
 #: The default ruleset, in reporting order.
 RULES: tuple[Rule, ...] = (
     DeterminismRule(),
@@ -711,6 +816,7 @@ RULES: tuple[Rule, ...] = (
     BadDelayRule(),
     UnboundedRetryRule(),
     SeedThreadingRule(),
+    PerfHotPathRule(),
 )
 
 

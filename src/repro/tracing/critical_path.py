@@ -145,8 +145,10 @@ def _accumulate(span: "Span", lo: float, hi: float,
     if end <= start:
         return 0.0
     covered = 0.0
-    for child in span.children:
-        covered += _accumulate(child, start, end, buckets)
+    children = span.children
+    if children:
+        for child in children:
+            covered += _accumulate(child, start, end, buckets)
     self_time = (end - start) - covered
     if self_time < 0.0:
         # Siblings overlapped (concurrent hops); the parent cannot be

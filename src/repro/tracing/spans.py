@@ -48,7 +48,10 @@ class Span:
         self.start = start
         self.end: Optional[float] = None
         self.parent = parent
-        self.children: list[Span] = []
+        #: Lazily allocated child list (most spans are leaves, and a
+        #: scenario allocates one span per hop per request — the empty
+        #: lists were a measurable share of tracing-on overhead).
+        self.children: Optional[list[Span]] = None
         #: Lazily allocated annotation dict (most spans carry none).
         self.meta: Optional[dict] = None
         #: Owning trace (lets ``finish`` unwind the open stack in O(1)).
@@ -72,8 +75,10 @@ class Span:
     def walk(self) -> Iterator["Span"]:
         """This span and every descendant, depth-first, in open order."""
         yield self
-        for child in self.children:
-            yield from child.walk()
+        children = self.children
+        if children:
+            for child in children:
+                yield from child.walk()
 
     @property
     def depth(self) -> int:
@@ -100,8 +105,8 @@ class RequestTrace:
         #: request becomes a child of the innermost open span.
         self._stack: list[Span] = [root]
         #: Open cross-component spans by name (producer opens,
-        #: consumer closes).
-        self._named: dict[str, Span] = {}
+        #: consumer closes); allocated on first use.
+        self._named: Optional[dict[str, Span]] = None
 
     @property
     def status(self) -> Optional[str]:
@@ -160,11 +165,25 @@ class SpanTracer:
         self._next_span_id = 0
 
     # -- trace lifecycle ---------------------------------------------------
-    def begin(self, request_id: int, **meta) -> RequestTrace:
+    # ``begin``/``start``/``instant`` build spans inline through
+    # ``Span.__new__`` + slot stores: a traced scenario opens one span
+    # per hop per request, and the ``Span.__init__`` call chain (plus
+    # an ``annotate`` call for the metadata) was a measurable share of
+    # the tracing-on overhead bound pinned in
+    # ``benchmarks/test_tracing_overhead.py``.
+
+    def begin(self, request_id: int, _new=Span.__new__,
+              _cls=Span, **meta) -> RequestTrace:
         """Open the root span of a new request."""
-        root = self._new_span("request", None)
-        if meta:
-            root.annotate(**meta)
+        self._next_span_id = sid = self._next_span_id + 1
+        root = _new(_cls)
+        root.span_id = sid
+        root.name = "request"
+        root.start = self.env._now
+        root.end = None
+        root.parent = None
+        root.children = None
+        root.meta = meta or None
         trace = RequestTrace(request_id, root)
         root.trace = trace
         self.traces[request_id] = trace
@@ -173,61 +192,140 @@ class SpanTracer:
     def end(self, request_id: int, status: str = "ok", **meta) -> None:
         """Close the root span (stragglers stay open for finalize)."""
         trace = self.traces.get(request_id)
-        if trace is None or trace.root.end is not None:
+        if trace is None:
             return
-        trace.root.end = self.env.now
-        trace.root.annotate(status=status, **meta)
+        root = trace.root
+        if root.end is not None:
+            return
+        root.end = self.env._now
+        meta["status"] = status
+        current = root.meta
+        if current is None:
+            root.meta = meta
+        else:
+            current.update(meta)
 
     def get(self, request_id: int) -> Optional[RequestTrace]:
         return self.traces.get(request_id)
 
     # -- spans -------------------------------------------------------------
-    def start(self, request_id: int, name: str, **meta) -> Optional[Span]:
+    def start(self, request_id: int, name: str, _new=Span.__new__,
+              _cls=Span, **meta) -> Optional[Span]:
         """Open a span as a child of the request's innermost open span."""
         trace = self.traces.get(request_id)
         if trace is None:
             return None
-        parent = trace._stack[-1] if trace._stack else trace.root
-        span = self._new_span(name, parent, trace)
-        if meta:
-            span.annotate(**meta)
-        trace._stack.append(span)
+        self._next_span_id = sid = self._next_span_id + 1
+        span = _new(_cls)
+        span.span_id = sid
+        span.name = name
+        span.start = self.env._now
+        span.end = None
+        stack = trace._stack
+        parent = stack[-1] if stack else trace.root
+        span.parent = parent
+        span.children = None
+        span.meta = meta or None
+        span.trace = trace
+        children = parent.children
+        if children is None:
+            parent.children = [span]
+        else:
+            children.append(span)
+        stack.append(span)
         return span
 
     def finish(self, span: Optional[Span], **meta) -> None:
         """Close ``span`` (``None`` and double closes are no-ops)."""
         if span is None or span.end is not None:
             return
-        span.end = self.env.now
+        span.end = self.env._now
         if meta:
             span.annotate(**meta)
-        # The span is usually innermost, but interrupts and faults can
-        # close out of order; remove it from wherever it sits.
+        # The span is almost always innermost — a tail pop.  Interrupts
+        # and faults can close out of order; only then pay the scan.
         stack = span.trace._stack
-        if span in stack:
-            stack.remove(span)
+        if stack:
+            if stack[-1] is span:
+                stack.pop()
+            elif span in stack:
+                stack.remove(span)
 
-    def start_named(self, request_id: int, name: str, **meta) -> None:
+    def start_named(self, request_id: int, name: str, _new=Span.__new__,
+                    _cls=Span, **meta) -> None:
         """Open a cross-component span the consumer will close by name."""
-        trace = self.traces.get(request_id)
-        if trace is None or name in trace._named:
-            return
-        span = self.start(request_id, name, **meta)
-        if span is not None:
-            trace._named[name] = span
-
-    def finish_named(self, request_id: int, name: str, **meta) -> None:
         trace = self.traces.get(request_id)
         if trace is None:
             return
-        span = trace._named.pop(name, None)
-        if span is not None:
-            self.finish(span, **meta)
+        named = trace._named
+        if named is None:
+            named = trace._named = {}
+        elif name in named:
+            return
+        self._next_span_id = sid = self._next_span_id + 1
+        span = _new(_cls)
+        span.span_id = sid
+        span.name = name
+        span.start = self.env._now
+        span.end = None
+        stack = trace._stack
+        parent = stack[-1] if stack else trace.root
+        span.parent = parent
+        span.children = None
+        span.meta = meta or None
+        span.trace = trace
+        children = parent.children
+        if children is None:
+            parent.children = [span]
+        else:
+            children.append(span)
+        stack.append(span)
+        named[name] = span
 
-    def instant(self, request_id: int, name: str, **meta) -> None:
-        """A zero-duration annotation span (decision points)."""
-        span = self.start(request_id, name, **meta)
-        self.finish(span)
+    def finish_named(self, request_id: int, name: str, **meta) -> None:
+        trace = self.traces.get(request_id)
+        if trace is None or trace._named is None:
+            return
+        span = trace._named.pop(name, None)
+        if span is None or span.end is not None:
+            return
+        span.end = self.env._now
+        if meta:
+            span.annotate(**meta)
+        stack = trace._stack
+        if stack:
+            if stack[-1] is span:
+                stack.pop()
+            elif span in stack:
+                stack.remove(span)
+
+    def instant(self, request_id: int, name: str, _new=Span.__new__,
+                _cls=Span, **meta) -> None:
+        """A zero-duration annotation span (decision points).
+
+        Equivalent to ``finish(start(...))`` — the span is attached to
+        the innermost open span and never touches the open stack (the
+        push/pop pair cancels out).
+        """
+        trace = self.traces.get(request_id)
+        if trace is None:
+            return
+        self._next_span_id = sid = self._next_span_id + 1
+        span = _new(_cls)
+        span.span_id = sid
+        span.name = name
+        span.start = span.end = self.env._now
+        stack = trace._stack
+        parent = stack[-1] if stack else trace.root
+        span.parent = parent
+        span.children = None
+        span.meta = meta or None
+        span.trace = trace
+        children = parent.children
+        if children is None:
+            parent.children = [span]
+        else:
+            children.append(span)
 
     # -- completion --------------------------------------------------------
     def finalize(self) -> None:
@@ -248,7 +346,8 @@ class SpanTracer:
                             span.meta.get("status") is None):
                         span.annotate(status="unfinished")
             trace._stack.clear()
-            trace._named.clear()
+            if trace._named is not None:
+                trace._named.clear()
 
     def completed_traces(self) -> list[RequestTrace]:
         """Traces whose request finished normally, in begin order."""
@@ -256,15 +355,6 @@ class SpanTracer:
 
     def __len__(self) -> int:
         return len(self.traces)
-
-    # -- internals ---------------------------------------------------------
-    def _new_span(self, name: str, parent: Optional[Span],
-                  trace: Optional[RequestTrace] = None) -> Span:
-        self._next_span_id += 1
-        span = Span(self._next_span_id, name, self.env.now, parent, trace)
-        if parent is not None:
-            parent.children.append(span)
-        return span
 
     def __repr__(self) -> str:
         return "<SpanTracer traces={} spans={}>".format(

@@ -6,6 +6,7 @@ chains, per-user sessions, and closed-loop emulated clients with
 exponential think times.
 """
 
+from repro.workload.aggregate import AggregatedClientPopulation
 from repro.workload.bursty import BurstProfile, OpenLoopGenerator
 from repro.workload.client import DEFAULT_THINK_TIME, Client
 from repro.workload.generator import ClientPopulation
@@ -35,5 +36,6 @@ __all__ = [
     "BurstProfile",
     "OpenLoopGenerator",
     "ClientPopulation",
+    "AggregatedClientPopulation",
     "DEFAULT_THINK_TIME",
 ]

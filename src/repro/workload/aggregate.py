@@ -1,0 +1,277 @@
+"""Aggregated closed-loop clients for the large-N axis.
+
+:class:`ClientPopulation` spawns one generator coroutine per emulated
+user, which is the right model at RUBBoS scale (thousands of users,
+tens of replicas) but hits a wall at mean-field scale: 10^5 users times
+one Process + one Timeout per think period is tens of millions of
+kernel events, and every per-user object lives on the heap at once.
+
+:class:`AggregatedClientPopulation` replaces the per-user coroutines
+with population *counts*:
+
+* Users in think state are a single integer.  Once per ``tick`` the
+  population draws how many of them finish thinking from the exact
+  distribution — ``Binomial(thinking, 1 - exp(-tick / Z))`` for
+  exponential think times — instead of scheduling one Timeout each.
+* Each replica of the backend tier is an integer queue length plus at
+  most one in-flight completion Timeout (FIFO, exponential service).
+  Queue positions carry only their arrival timestamp, so per-request
+  sojourn times are exact even though no request object exists.
+* Dispatch uses JSQ(d) sampling — the O(d) choice rule of
+  :class:`~repro.core.policies.PowerOfDPolicy` — with RNG draws taken
+  from pre-filled buffers, so selection cost is flat in the replica
+  count.
+
+Memory is O(users + replicas) regardless of run length: counters,
+bounded deques, and fixed RNG buffers — no per-user Process, no
+per-request object, no growing sample list.  Mean sojourn time is
+additionally cross-checkable against Little's law via the in-system
+area integral the population maintains.
+
+The open variant (``arrival_rate``) swaps the binomial think draw for
+a Poisson arrival draw per tick and lets completed users leave, which
+is the regime the mean-field prediction of
+``benchmarks/test_largeN_meanfield.py`` is stated for.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Optional
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.workload.client import DEFAULT_THINK_TIME
+
+#: RNG draws are buffered in chunks this size (refilled on exhaustion).
+RNG_CHUNK = 65536
+
+
+class _Buffered:
+    """Chunked RNG draws: one vectorised call amortised over many uses."""
+
+    __slots__ = ("_refill", "_buf", "_idx")
+
+    def __init__(self, refill) -> None:
+        self._refill = refill
+        self._buf = refill()
+        self._idx = 0
+
+    def next(self):
+        idx = self._idx
+        buf = self._buf
+        if idx == len(buf):
+            buf = self._buf = self._refill()
+            idx = 0
+        self._idx = idx + 1
+        return buf[idx]
+
+
+class AggregatedClientPopulation:
+    """A closed (or open) client population without per-user processes.
+
+    Parameters
+    ----------
+    env:
+        Simulation environment.
+    replicas:
+        Number of backend replicas (each an independent FIFO queue).
+    service_time:
+        Mean of the exponential service time (1 / mu).
+    users:
+        Closed mode: population size.  Ignored in open mode.
+    think_time:
+        Closed mode: mean exponential think time Z.
+    arrival_rate:
+        If given, run *open*: users arrive Poisson(rate) and leave on
+        completion; ``users``/``think_time`` are ignored.
+    d:
+        JSQ(d) sample size (1 = uniform random dispatch).
+    tick:
+        Aggregation period for think/arrival draws.  Smaller ticks
+        approach the per-user event-driven model; the default of one
+        tenth of a mean service time keeps the discretisation error
+        well under the mean-field tolerance.
+    seed:
+        Private RNG seed (the population never touches the
+        environment's RNG stream).
+    """
+
+    def __init__(self, env, replicas: int, service_time: float,
+                 users: int = 0,
+                 think_time: float = DEFAULT_THINK_TIME,
+                 arrival_rate: Optional[float] = None,
+                 d: int = 2,
+                 tick: Optional[float] = None,
+                 seed: int = 1) -> None:
+        if replicas < 1:
+            raise ConfigurationError("need at least one replica")
+        if service_time <= 0:
+            raise ConfigurationError("service_time must be positive")
+        if d < 1:
+            raise ConfigurationError("d must be >= 1")
+        if arrival_rate is None and users < 1:
+            raise ConfigurationError("closed mode needs users >= 1")
+        if arrival_rate is None and think_time <= 0:
+            raise ConfigurationError("think_time must be positive")
+        self.env = env
+        self.replicas = replicas
+        self.service_time = service_time
+        self.users = users
+        self.think_time = think_time
+        self.arrival_rate = arrival_rate
+        self.d = d
+        self.tick = tick if tick is not None else service_time / 10.0
+        if self.tick <= 0:
+            raise ConfigurationError("tick must be positive")
+
+        rng = np.random.default_rng(seed)
+        self._rng = rng
+        self._svc = _Buffered(
+            lambda: rng.standard_exponential(RNG_CHUNK) * service_time)
+        self._pick = _Buffered(
+            lambda: rng.integers(0, replicas, RNG_CHUNK))
+
+        #: Jobs at each replica (queued + in service).
+        self.queues = [0] * replicas
+        #: FIFO arrival timestamps per replica (len == queues[i]).
+        self._arrivals = [deque() for _ in range(replicas)]
+        #: One reusable completion callback per replica — allocated
+        #: once, so the steady state schedules zero new objects beyond
+        #: the pooled Timeouts themselves.
+        self._complete = [self._make_complete(i) for i in range(replicas)]
+        #: Users currently thinking (closed mode).
+        self.thinking = users if arrival_rate is None else 0
+        #: Aggregate counters.
+        self.dispatched = 0
+        self.completions = 0
+        self.sojourn_sum = 0.0
+        self.sojourn_max = 0.0
+        #: Little's-law area integral of the in-system job count.
+        self._in_system = 0
+        self._area = 0.0
+        self._area_since = 0.0
+        self._process = env.process(self._run())
+
+    # -- dispatch ----------------------------------------------------------
+    def _select(self) -> int:
+        """JSQ(d): sample ``d`` replicas with replacement, least loaded."""
+        pick = self._pick
+        queues = self.queues
+        best = pick.next()
+        load = queues[best]
+        for _ in range(self.d - 1):
+            other = pick.next()
+            if queues[other] < load:
+                best = other
+                load = queues[other]
+        return best
+
+    def _dispatch(self, count: int, now: float) -> None:
+        env = self.env
+        queues = self.queues
+        for _ in range(count):
+            idx = self._select()
+            self._arrivals[idx].append(now)
+            queues[idx] += 1
+            self.dispatched += 1
+            if queues[idx] == 1:
+                timeout = env.timeout(self._svc.next())
+                timeout.callbacks.append(self._complete[idx])
+        self._area += self._in_system * (now - self._area_since)
+        self._area_since = now
+        self._in_system += count
+
+    def _make_complete(self, idx: int):
+        """Build replica ``idx``'s reusable completion callback."""
+
+        def complete(_event) -> None:
+            env = self.env
+            now = env._now
+            sojourn = now - self._arrivals[idx].popleft()
+            self.queues[idx] -= 1
+            self.completions += 1
+            self.sojourn_sum += sojourn
+            if sojourn > self.sojourn_max:
+                self.sojourn_max = sojourn
+            self._area += self._in_system * (now - self._area_since)
+            self._area_since = now
+            self._in_system -= 1
+            if self.arrival_rate is None:
+                self.thinking += 1
+            if self.queues[idx]:
+                timeout = env.timeout(self._svc.next())
+                timeout.callbacks.append(complete)
+
+        return complete
+
+    # -- think/arrival loop ------------------------------------------------
+    def _run(self):
+        from repro.sim.events import Interrupt
+
+        env = self.env
+        tick = self.tick
+        try:
+            if self.arrival_rate is None:
+                # Exact per-tick transition for exponential think
+                # times: each thinking user independently finishes
+                # with probability 1 - exp(-tick / Z).
+                p_done = -np.expm1(-tick / self.think_time)
+                while True:
+                    yield env.timeout(tick)
+                    if self.thinking:
+                        done = int(self._rng.binomial(self.thinking,
+                                                      p_done))
+                        if done:
+                            self.thinking -= done
+                            self._dispatch(done, env._now)
+            else:
+                mean_arrivals = self.arrival_rate * tick
+                while True:
+                    yield env.timeout(tick)
+                    arrived = int(self._rng.poisson(mean_arrivals))
+                    if arrived:
+                        self._dispatch(arrived, env._now)
+        except Interrupt:
+            return
+
+    def stop(self) -> None:
+        """Interrupt the think/arrival loop (in-flight services drain)."""
+        if self._process.is_alive:
+            self._process.interrupt()
+
+    # -- metrics -----------------------------------------------------------
+    @property
+    def in_system(self) -> int:
+        """Jobs currently queued or in service across all replicas."""
+        return self._in_system
+
+    @property
+    def mean_sojourn(self) -> float:
+        """Mean response time (queueing + service) over completions."""
+        if not self.completions:
+            return 0.0
+        return self.sojourn_sum / self.completions
+
+    @property
+    def mean_waiting(self) -> float:
+        """Mean queueing delay: sojourn minus one mean service time."""
+        return max(0.0, self.mean_sojourn - self.service_time)
+
+    def littles_law_sojourn(self, until: Optional[float] = None) -> float:
+        """Mean sojourn via L = lambda * T (cross-check for the direct sum).
+
+        ``T = area(in-system) / completions`` — both maintained in O(1)
+        per event, so the check costs nothing extra.
+        """
+        if not self.completions:
+            return 0.0
+        now = self.env.now if until is None else until
+        area = self._area + self._in_system * (now - self._area_since)
+        return area / self.completions
+
+    def __repr__(self) -> str:
+        return ("<AggregatedClientPopulation replicas={} users={} "
+                "completions={}>".format(
+                    self.replicas, self.users, self.completions))

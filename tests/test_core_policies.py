@@ -49,7 +49,8 @@ class TestRegistry:
     def test_all_policies_registered(self):
         assert set(POLICIES) == {
             "total_request", "total_traffic", "current_load",
-            "round_robin", "random", "two_choices", "ewma_latency"}
+            "round_robin", "random", "two_choices", "jsq_d",
+            "ewma_latency"}
 
     def test_make_policy(self):
         assert isinstance(make_policy("current_load"), CurrentLoadPolicy)

@@ -395,6 +395,102 @@ class TestSeedThreadingRule:
         """) == []
 
 
+# -- hot-path performance -------------------------------------------------
+
+class TestPerfHotPathRule:
+    SIM = "src/repro/sim/hotmod.py"
+    TRACING = "src/repro/tracing/hotmod.py"
+    SCHEDULER = "src/repro/sim/calendar.py"
+    ELSEWHERE = "src/repro/cluster/runner.py"
+
+    def test_heapq_import_in_sim_fires(self):
+        assert "PERF001" in codes("import heapq\n", path=self.SIM)
+
+    def test_heapq_from_import_in_tracing_fires(self):
+        assert "PERF001" in codes("from heapq import heappush\n",
+                                  path=self.TRACING)
+
+    def test_heapq_call_in_sim_fires(self):
+        assert "PERF001" in codes("""
+            import heapq
+            def schedule(entries, entry):
+                heapq.heappush(entries, entry)
+        """, path=self.SIM)
+
+    def test_bare_heappush_call_fires(self):
+        assert "PERF001" in codes("""
+            def schedule(entries, entry):
+                heappush(entries, entry)
+        """, path=self.SIM)
+
+    def test_scheduler_module_owns_its_heap(self):
+        assert codes("""
+            from heapq import heappop, heappush
+            def push_overflow(overflow, entry):
+                heappush(overflow, entry)
+        """, path=self.SCHEDULER) == []
+
+    def test_heapq_outside_sim_tracing_is_clean(self):
+        assert codes("import heapq\n", path=self.ELSEWHERE) == []
+
+    def test_event_construction_in_loop_fires(self):
+        assert "PERF002" in codes("""
+            def settle(env, waiters):
+                for waiter in waiters:
+                    event = Event(env)
+                    event.succeed()
+        """, path=self.SIM)
+
+    def test_timeout_construction_in_while_loop_fires(self):
+        assert "PERF002" in codes("""
+            def drain(env):
+                while env.peek() < 1.0:
+                    Timeout(env, 0.1)
+        """, path=self.SIM)
+
+    def test_span_construction_in_loop_fires(self):
+        assert "PERF002" in codes("""
+            def expand(trace, names):
+                for name in names:
+                    trace.add(Span(name))
+        """, path=self.TRACING)
+
+    def test_single_construction_outside_loop_is_clean(self):
+        assert codes("""
+            def interrupt(env):
+                event = Event(env)
+                return event
+        """, path=self.SIM) == []
+
+    def test_factory_calls_in_loop_are_clean(self):
+        assert codes("""
+            def drain(env, n):
+                for _ in range(n):
+                    yield env.timeout(0.1)
+        """, path=self.SIM) == []
+
+    def test_loop_construction_outside_sim_tracing_is_clean(self):
+        assert codes("""
+            def build(env, n):
+                return [Event(env) for _ in range(n)]
+        """, path=self.ELSEWHERE) == []
+
+    def test_dunder_new_pool_idiom_is_clean(self):
+        assert codes("""
+            def fill(env, pool, n, _new=Timeout.__new__, _cls=Timeout):
+                for _ in range(n):
+                    pool.append(_new(_cls))
+        """, path=self.SIM) == []
+
+    def test_shipped_sim_and_tracing_trees_are_clean(self):
+        root = pathlib.Path(__file__).resolve().parents[1] / "src/repro"
+        for module_dir in ("sim", "tracing"):
+            for path in sorted((root / module_dir).glob("*.py")):
+                found = check_source(path.read_text(), str(path))
+                perf = [f for f in found if f.code.startswith("PERF")]
+                assert perf == [], path
+
+
 # -- engine behaviour -----------------------------------------------------
 
 class TestSuppressions:
@@ -482,7 +578,7 @@ class TestEngine:
 
     def test_every_rule_has_id_and_codes(self):
         ids = [rule.id for rule in RULES]
-        assert len(ids) == len(set(ids)) == 8
+        assert len(ids) == len(set(ids)) == 9
         for rule in RULES:
             assert rule.codes, rule.id
             assert rule.description, rule.id

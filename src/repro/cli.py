@@ -166,16 +166,33 @@ def _cmd_statan(args: argparse.Namespace) -> int:
         Severity,
         check_paths,
         render_json,
+        render_sarif,
         render_text,
+        write_baseline,
     )
+    from repro.statan.sarif import load_baseline
 
     try:
+        baseline = None
+        if args.baseline is not None:
+            try:
+                baseline = load_baseline(args.baseline)
+            except (OSError, ValueError) as exc:
+                raise StatanError(
+                    "cannot load baseline: {}".format(exc)) from exc
         result = check_paths(
             args.paths,
             select=args.select.split(",") if args.select else None,
             ignore=args.ignore.split(",") if args.ignore else None,
             min_severity=Severity.from_label(args.min_severity),
+            program_rules=None if args.no_program else "default",
+            baseline=baseline,
         )
+        if args.write_baseline is not None:
+            write_baseline(args.write_baseline, result.findings)
+            print("statan: wrote {} finding(s) to {}".format(
+                len(result.findings), args.write_baseline),
+                file=sys.stderr)
     except StatanError as exc:
         print("statan: error: {}".format(exc), file=sys.stderr)
         return 2
@@ -184,6 +201,8 @@ def _cmd_statan(args: argparse.Namespace) -> int:
         return 2
     if args.format == "json":
         print(render_json(result))
+    elif args.format == "sarif":
+        print(render_sarif(result.findings))
     else:
         print(render_text(result))
     return 1 if result.findings else 0
@@ -315,15 +334,28 @@ def build_parser() -> argparse.ArgumentParser:
                     "Suppress one line with '# statan: ignore[rule-id]'.")
     statan.add_argument("paths", nargs="*", default=["src/repro"],
                         help="files or directories (default: src/repro)")
-    statan.add_argument("--format", choices=("text", "json"),
+    statan.add_argument("--format", choices=("text", "json", "sarif"),
                         default="text", help="report format")
     statan.add_argument("--select", default=None, metavar="RULES",
-                        help="comma-separated rule ids to run exclusively")
+                        help="comma-separated rule ids or finding codes "
+                             "to run exclusively")
     statan.add_argument("--ignore", default=None, metavar="RULES",
-                        help="comma-separated rule ids to skip")
+                        help="comma-separated rule ids or finding codes "
+                             "to skip")
     statan.add_argument("--min-severity", default="info",
                         choices=("info", "warning", "error"),
                         help="report findings at or above this severity")
+    statan.add_argument("--baseline", default=None, metavar="PATH",
+                        help="suppress findings whose fingerprints are "
+                             "recorded in this baseline file; only new "
+                             "findings fail the run")
+    statan.add_argument("--write-baseline", default=None, metavar="PATH",
+                        help="write the run's findings to a baseline "
+                             "file (after --baseline filtering, if any)")
+    statan.add_argument("--no-program", action="store_true",
+                        help="skip the whole-program passes (seed "
+                             "provenance, yield atomicity, resource "
+                             "escape); per-file rules only")
     statan.set_defaults(func=_cmd_statan)
 
     trace = sub.add_parser(

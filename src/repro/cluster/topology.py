@@ -155,6 +155,10 @@ def build_from_spec(
     boundary whose spec names no bundle.
     """
     if rng is None:
+        # SEED003 (baselined): this fallback seed coincides with the
+        # fault injector's and prober's — acceptable for the ad-hoc
+        # no-rng path, and reseeding would shift every golden trace.
+        # Experiment runs always pass rng= (SEED001 enforces it).
         rng = np.random.default_rng(DEFAULT_BUILD_SEED)
     profile = profile or ScaleProfile()
     config = balancer_config or BalancerConfig(

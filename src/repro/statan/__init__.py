@@ -4,7 +4,11 @@ An AST-based lint framework specialised for this repository's
 discrete-event kernel: determinism (no ambient time or randomness),
 generator-protocol discipline for sim processes, resource-slot safety,
 float-time hygiene, ``__slots__`` enforcement on kernel hot paths, and
-delay-literal validation.
+delay-literal validation — plus whole-program passes that compose
+per-function summaries along the call graph: interprocedural seed
+provenance (SEED002/SEED003), a yield-point race detector for process
+generators (RACE001-003), and escaped-acquisition lifetime tracking
+(RES003).
 
 Programmatic entry points::
 
@@ -14,6 +18,9 @@ Programmatic entry points::
     print(render_text(result))
 
 Command line: ``repro-lb statan [paths ...]`` (see ``--help``).
+CI gating uses a committed fingerprint baseline
+(``--baseline statan-baseline.json``) and SARIF output
+(``--format sarif``); see :mod:`repro.statan.sarif`.
 """
 
 from repro.statan.engine import (
@@ -28,10 +35,25 @@ from repro.statan.engine import (
     render_json,
     render_text,
 )
+from repro.statan.program import (
+    PROGRAM_RULES,
+    ProgramIndex,
+    ProgramRule,
+    default_program_rules,
+)
 from repro.statan.rules import RULES, default_rules
+from repro.statan.sarif import (
+    load_baseline,
+    render_baseline,
+    render_sarif,
+    write_baseline,
+)
 
 __all__ = [
     "Context", "Finding", "Result", "Rule", "Severity", "StatanError",
     "check_paths", "check_source", "render_json", "render_text",
     "RULES", "default_rules",
+    "ProgramIndex", "ProgramRule", "PROGRAM_RULES",
+    "default_program_rules",
+    "render_sarif", "render_baseline", "load_baseline", "write_baseline",
 ]

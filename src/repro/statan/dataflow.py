@@ -1,0 +1,387 @@
+"""Per-function summaries for the whole-program statan passes.
+
+A *summary* is the package-local answer to "what does calling this
+function do to state I can see?", computed once per function and then
+composed along call edges by :mod:`repro.statan.program` — the same
+modular trick summary-based race detectors and lint-at-scale systems
+use so the interprocedural passes never re-walk a callee's body per
+call site.
+
+Abstract locations are ``(root, attrpath)`` pairs where the root is
+``"self"`` or a parameter name: ``self.tokens`` is ``("self",
+"tokens")``, ``member.state`` inside ``def probe(self, member)`` is
+``("member", "state")``.  Locals are invisible (each simulated process
+owns its frame); attributes are the shared state another process can
+mutate between two yields.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Optional
+
+__all__ = [
+    "Location", "FunctionSummary", "summarize",
+    "location_of", "reads_in", "writes_of", "param_derived_names",
+    "classify_seed", "RNG_PARAM_NAMES", "SEED_PARAM_NAMES",
+]
+
+_FUNCTIONS = (ast.FunctionDef, ast.AsyncFunctionDef)
+
+#: Parameter names that mean "the caller handed me a generator".
+RNG_PARAM_NAMES = {"rng", "generator", "random_state", "rand"}
+#: Parameter names that mean "the caller handed me seed material".
+SEED_PARAM_NAMES = {"seed", "seeds", "base_seed", "seed_sequence"}
+
+#: Container methods that mutate their receiver in place.
+_MUTATOR_METHODS = {
+    "append", "appendleft", "extend", "extendleft", "add", "remove",
+    "discard", "pop", "popleft", "popitem", "clear", "update", "insert",
+    "setdefault", "sort", "reverse", "rotate",
+}
+
+#: How many attribute segments a location keeps (``self.tier.queue``).
+_MAX_ATTR_DEPTH = 2
+
+Location = tuple[str, str]
+
+
+def _own_nodes(func: ast.AST):
+    """Walk a function body without entering nested functions/lambdas."""
+    stack = list(ast.iter_child_nodes(func))
+    while stack:
+        node = stack.pop()
+        if isinstance(node, _FUNCTIONS + (ast.Lambda,)):
+            continue
+        yield node
+        stack.extend(ast.iter_child_nodes(node))
+
+
+def location_of(node: ast.AST) -> Optional[Location]:
+    """``(root, attrpath)`` for an attribute chain, else ``None``.
+
+    Subscripts collapse onto their container (``self.table[k]`` is the
+    ``self.table`` location — element-level precision buys nothing for
+    a yield-atomicity check, the container is what races).
+    """
+    parts: list[str] = []
+    while True:
+        if isinstance(node, ast.Subscript):
+            node = node.value
+        elif isinstance(node, ast.Attribute):
+            parts.append(node.attr)
+            node = node.value
+        else:
+            break
+    if not isinstance(node, ast.Name) or not parts:
+        return None
+    parts.reverse()
+    return node.id, ".".join(parts[:_MAX_ATTR_DEPTH])
+
+
+def reads_in(expr: ast.AST, roots: set[str]) -> set[Location]:
+    """Attribute loads in ``expr`` rooted at one of ``roots``."""
+    out: set[Location] = set()
+    for node in ast.walk(expr):
+        if isinstance(node, ast.Attribute):
+            loc = location_of(node)
+            if loc is not None and loc[0] in roots:
+                out.add(loc)
+    return out
+
+
+def _assign_targets(stmt: ast.AST) -> list[ast.AST]:
+    if isinstance(stmt, ast.Assign):
+        return list(stmt.targets)
+    if isinstance(stmt, (ast.AugAssign, ast.AnnAssign)):
+        return [stmt.target]
+    return []
+
+
+def writes_of(node: ast.AST, roots: set[str]) -> set[Location]:
+    """Shared locations a single statement/expression writes.
+
+    Covers attribute/subscript assignment targets and in-place
+    container mutations (``self.queue.append(x)``).
+    """
+    out: set[Location] = set()
+    for target in _assign_targets(node):
+        for sub in ast.walk(target):
+            if isinstance(sub, (ast.Attribute, ast.Subscript)):
+                loc = location_of(sub)
+                if loc is not None and loc[0] in roots:
+                    out.add(loc)
+    call = node.value if isinstance(node, ast.Expr) else node
+    if isinstance(call, ast.Call) and isinstance(call.func, ast.Attribute) \
+            and call.func.attr in _MUTATOR_METHODS:
+        loc = location_of(call.func.value)
+        if loc is not None and loc[0] in roots:
+            out.add(loc)
+    return out
+
+
+def param_derived_names(func: ast.AST) -> set[str]:
+    """Local names whose values derive from the function's parameters.
+
+    A simple fixed point over ``name = <expr>`` assignments: seeds with
+    the parameter names, then adds any assigned name whose right-hand
+    side mentions a derived name.  Attribute reads *off* a derived name
+    count as derived (``config.seed`` is caller-supplied material).
+    """
+    args = func.args
+    derived = {arg.arg for arg in
+               args.posonlyargs + args.args + args.kwonlyargs}
+    if args.vararg is not None:
+        derived.add(args.vararg.arg)
+    if args.kwarg is not None:
+        derived.add(args.kwarg.arg)
+    changed = True
+    while changed:
+        changed = False
+        for node in _own_nodes(func):
+            if not isinstance(node, (ast.Assign, ast.AnnAssign,
+                                     ast.AugAssign)):
+                continue
+            value = node.value
+            if value is None:
+                continue
+            if not any(isinstance(sub, ast.Name) and sub.id in derived
+                       for sub in ast.walk(value)):
+                continue
+            for target in _assign_targets(node):
+                for element in ast.walk(target):
+                    if isinstance(element, ast.Name) \
+                            and element.id not in derived:
+                        derived.add(element.id)
+                        changed = True
+    return derived
+
+
+# -- seed classification ---------------------------------------------------
+
+def _is_rng_construction(call: ast.Call) -> bool:
+    func = call.func
+    name = func.attr if isinstance(func, ast.Attribute) else (
+        func.id if isinstance(func, ast.Name) else None)
+    return name == "default_rng"
+
+
+def classify_seed(call: ast.Call, derived: set[str],
+                  constants: dict[str, object]
+                  ) -> tuple[str, Optional[object]]:
+    """Classify a ``default_rng(...)`` call's seed provenance.
+
+    Returns ``(kind, value)`` where kind is one of
+
+    - ``"derived"`` — seed material reaches back to a parameter (or to
+      ``self``/another generator): the caller threads it; clean.
+    - ``"constant"`` — literals and module-level constants only; the
+      stream is pinned regardless of the experiment's seed.  ``value``
+      is the resolved seed when it is a single literal/constant.
+    - ``"unseeded"`` — no argument at all (OS entropy; DET006 already
+      flags this per-file, the program pass only tracks it).
+    - ``"opaque"`` — anything else (globals, closures); not flagged.
+    """
+    seed_nodes: list[ast.AST] = list(call.args)
+    for keyword in call.keywords:
+        if keyword.arg in (None, "seed"):
+            seed_nodes.append(keyword.value)
+    if not seed_nodes:
+        return "unseeded", None
+    constant_only = True
+    value: Optional[object] = None
+    values: list[object] = []
+    for seed in seed_nodes:
+        for node in ast.walk(seed):
+            if isinstance(node, ast.Attribute):
+                # ``self._rng.integers(...)``, ``config.seed``: the
+                # seed flows from live state, not a pinned literal.
+                root = node
+                while isinstance(root, ast.Attribute):
+                    root = root.value
+                if isinstance(root, ast.Name) and (
+                        root.id in derived or root.id == "self"):
+                    return "derived", None
+                constant_only = False
+            elif isinstance(node, ast.Name):
+                if node.id in derived or node.id == "self":
+                    return "derived", None
+                if node.id in constants:
+                    values.append(constants[node.id])
+                else:
+                    constant_only = False
+            elif isinstance(node, ast.Constant):
+                if isinstance(node.value, (int, float, str)):
+                    values.append(node.value)
+    if constant_only:
+        if len(seed_nodes) == 1 and len(values) == 1:
+            value = values[0]
+        elif values:
+            value = tuple(values)
+        return "constant", value
+    return "opaque", None
+
+
+# -- the summary -----------------------------------------------------------
+
+@dataclass
+class RngConstruction:
+    """One ``default_rng(...)`` site inside a function."""
+
+    node: ast.Call
+    kind: str
+    value: Optional[object] = None
+
+
+@dataclass
+class FunctionSummary:
+    """Everything the program passes need to know about one function."""
+
+    qname: str
+    params: tuple[str, ...] = ()
+    #: Caller handed us a generator / seed material.
+    has_rng_param: bool = False
+    has_seed_param: bool = False
+    #: ``default_rng`` sites with their provenance classification.
+    rng_constructions: list[RngConstruction] = field(default_factory=list)
+    #: Function returns a generator it built from these parameters —
+    #: the ``default_rng([seed, tag])`` helper shape.
+    returns_rng_from: set[str] = field(default_factory=set)
+    #: Shared locations touched anywhere in the body.
+    shared_reads: set[Location] = field(default_factory=set)
+    shared_writes: set[Location] = field(default_factory=set)
+    #: param name -> shared locations assigned a value derived from it
+    #: (``def _set(self, n): self.pending = n``).
+    param_writes: dict[str, set[Location]] = field(default_factory=dict)
+    #: Shared locations the return value derives from
+    #: (``def _count(self): return len(self.queue)``).
+    ret_reads: set[Location] = field(default_factory=set)
+    #: Function contains yield points (is a generator).
+    is_generator: bool = False
+    #: Receivers of ``.acquire()`` / ``.request()`` calls.
+    acquires: set[str] = field(default_factory=set)
+    #: Function hands an acquired slot/request to its caller.
+    returns_acquired: bool = False
+
+    def rng_available(self) -> bool:
+        return self.has_rng_param or self.has_seed_param
+
+
+def _param_annotation_is_generator(arg: ast.arg) -> bool:
+    annotation = arg.annotation
+    if annotation is None:
+        return False
+    text = ast.dump(annotation) if not isinstance(annotation, ast.Constant) \
+        else str(annotation.value)
+    return "Generator" in text
+
+
+def summarize(func: ast.AST, qname: str = "",
+              constants: Optional[dict[str, object]] = None
+              ) -> FunctionSummary:
+    """Build the :class:`FunctionSummary` for one function node."""
+    constants = constants or {}
+    args = func.args
+    arg_nodes = args.posonlyargs + args.args + args.kwonlyargs
+    params = tuple(arg.arg for arg in arg_nodes)
+    summary = FunctionSummary(qname=qname, params=params)
+    for arg in arg_nodes:
+        lowered = arg.arg.lower()
+        if lowered in RNG_PARAM_NAMES or _param_annotation_is_generator(arg):
+            summary.has_rng_param = True
+        if lowered in SEED_PARAM_NAMES:
+            summary.has_seed_param = True
+
+    derived = param_derived_names(func)
+    roots = set(params) | {"self"}
+    #: local name -> the single shared location it was read from (used
+    #: for param_writes/ret_reads value flow; multi-source locals keep
+    #: the union).
+    local_sources: dict[str, set[Location]] = {
+        param: {(param, "")} for param in params}
+
+    acquired_names: set[str] = set()
+    # Source order matters: ``return Endpoint(self, slot)`` must see the
+    # ``slot = pool.acquire()`` that precedes it, and local value flow
+    # is a single forward pass.
+    ordered = sorted(_own_nodes(func),
+                     key=lambda n: (getattr(n, "lineno", 0),
+                                    getattr(n, "col_offset", 0)))
+    for node in ordered:
+        if isinstance(node, (ast.Yield, ast.YieldFrom)):
+            summary.is_generator = True
+        if isinstance(node, (ast.Assign, ast.AnnAssign, ast.AugAssign)):
+            summary.shared_writes |= writes_of(node, roots)
+            if node.value is not None:
+                summary.shared_reads |= reads_in(node.value, roots)
+                sources = reads_in(node.value, roots)
+                value_names = {sub.id for sub in ast.walk(node.value)
+                               if isinstance(sub, ast.Name)}
+                for name in value_names & set(local_sources):
+                    sources |= local_sources[name]
+                for target in _assign_targets(node):
+                    if isinstance(target, ast.Name):
+                        local_sources.setdefault(
+                            target.id, set()).update(sources)
+                    else:
+                        loc = location_of(target)
+                        if loc is not None and loc[0] in roots:
+                            for source_root, _ in sources:
+                                if source_root in params:
+                                    summary.param_writes.setdefault(
+                                        source_root, set()).add(loc)
+                # acquire()/request() results bound to a local
+                if isinstance(node.value, ast.Call) \
+                        and isinstance(node.value.func, ast.Attribute) \
+                        and node.value.func.attr in (
+                            "acquire", "request", "try_acquire"):
+                    for target in _assign_targets(node):
+                        if isinstance(target, ast.Name):
+                            acquired_names.add(target.id)
+        elif isinstance(node, ast.Expr):
+            summary.shared_writes |= writes_of(node, roots)
+            summary.shared_reads |= reads_in(node, roots)
+        elif isinstance(node, (ast.If, ast.While)):
+            summary.shared_reads |= reads_in(node.test, roots)
+        elif isinstance(node, ast.For):
+            summary.shared_reads |= reads_in(node.iter, roots)
+        elif isinstance(node, ast.Return) and node.value is not None:
+            summary.ret_reads |= reads_in(node.value, roots)
+            for sub in ast.walk(node.value):
+                if isinstance(sub, ast.Name):
+                    summary.ret_reads |= local_sources.get(sub.id, set())
+                    if sub.id in acquired_names:
+                        summary.returns_acquired = True
+            if isinstance(node.value, ast.Call):
+                if isinstance(node.value.func, ast.Attribute) \
+                        and node.value.func.attr in (
+                            "acquire", "request", "try_acquire"):
+                    summary.returns_acquired = True
+                # ``return Endpoint(self, slot)``: the wrapper carries
+                # the acquired slot out.
+                for arg in ast.walk(node.value):
+                    if isinstance(arg, ast.Name) \
+                            and arg.id in acquired_names:
+                        summary.returns_acquired = True
+            if isinstance(node.value, ast.Call) \
+                    and _is_rng_construction(node.value):
+                kind, _ = classify_seed(node.value, derived, constants)
+                if kind == "derived":
+                    summary.returns_rng_from = {
+                        name for name in params
+                        if any(isinstance(sub, ast.Name)
+                               and sub.id in derived and sub.id == name
+                               for sub in ast.walk(node.value))}
+        if isinstance(node, ast.Call):
+            if isinstance(node.func, ast.Attribute) \
+                    and node.func.attr == "acquire":
+                receiver = location_of(node.func.value)
+                dotted = ".".join(part for part in (
+                    receiver if receiver else ()) if part)
+                summary.acquires.add(dotted or "<expr>")
+            if _is_rng_construction(node):
+                kind, value = classify_seed(node, derived, constants)
+                summary.rng_constructions.append(
+                    RngConstruction(node=node, kind=kind, value=value))
+    return summary

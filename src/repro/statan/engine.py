@@ -17,15 +17,26 @@ filters them through per-line suppression comments::
 
 A bare ``# statan: ignore`` suppresses every rule on that line; the
 bracketed form takes a comma-separated list of rule ids
-(``determinism``) or finding codes (``DET001``).
+(``determinism``) or finding codes (``DET001``).  Suppressions attach
+to *statements*, not physical lines: a marker anywhere on a multi-line
+call, a decorator, or a compound-statement header covers findings
+reported anywhere on that statement's span.
+
+Beyond the per-file rules, :func:`check_paths` runs the whole-program
+passes from :mod:`repro.statan.program` over every parsed file at
+once, and every finding carries a content-stable fingerprint so a
+committed baseline (:mod:`repro.statan.sarif`) can gate CI on *new*
+findings only.
 
 Reporters: :func:`render_text` for humans, :func:`render_json` for
-tooling (schema version 1, covered by ``tests/test_statan.py``).
+tooling (schema version 2, covered by ``tests/test_statan.py``), and
+:func:`repro.statan.sarif.render_sarif` for code-scanning UIs.
 """
 
 from __future__ import annotations
 
 import ast
+import dataclasses
 import enum
 import io
 import json
@@ -77,6 +88,12 @@ class Finding:
     rule: str
     severity: Severity
     message: str
+    #: Content-stable identity (``repro.statan.sarif``); filled by
+    #: :func:`check_paths`, empty for bare :func:`check_source` runs.
+    fingerprint: str = ""
+
+    def with_fingerprint(self, fingerprint: str) -> "Finding":
+        return dataclasses.replace(self, fingerprint=fingerprint)
 
     def to_dict(self) -> dict:
         return {
@@ -87,6 +104,7 @@ class Finding:
             "rule": self.rule,
             "severity": self.severity.label,
             "message": self.message,
+            "fingerprint": self.fingerprint,
         }
 
 
@@ -138,6 +156,8 @@ class Result:
     findings: list[Finding] = field(default_factory=list)
     files_checked: int = 0
     suppressed: int = 0
+    #: Known findings hidden by a ``--baseline`` file.
+    baselined: int = 0
 
     def counts(self) -> dict[str, int]:
         out = {severity.label: 0 for severity in Severity}
@@ -198,25 +218,100 @@ def _is_suppressed(finding: Finding,
             or finding.code in names)
 
 
+def _statement_spans(tree: ast.AST) -> dict[int, set[int]]:
+    """Line -> peer lines belonging to the same logical statement.
+
+    A suppression comment binds to the whole statement it sits on, not
+    just its physical line: a marker on any line of a multi-line call,
+    on a decorator, or on a wrapped ``def``/``if`` header covers
+    findings reported anywhere in that span.  Compound statements
+    contribute only their *header* (up to the first body statement), so
+    a marker on ``for ...:`` does not blanket the loop body.
+    """
+    spans: dict[int, set[int]] = {}
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.stmt):
+            continue
+        start = node.lineno
+        for decorator in getattr(node, "decorator_list", []):
+            start = min(start, decorator.lineno)
+        body = getattr(node, "body", None)
+        if isinstance(body, list) and body \
+                and isinstance(body[0], ast.stmt):
+            end = body[0].lineno - 1
+        else:
+            end = node.end_lineno or node.lineno
+        if end < start:
+            end = start
+        if end == start:
+            continue
+        lines = set(range(start, end + 1))
+        group: set[int] = set(lines)
+        for line in lines:
+            group |= spans.get(line, set())
+        for line in group:
+            spans[line] = group
+    return spans
+
+
+def _expand_suppressions(marks: dict[int, set[str]],
+                         tree: ast.AST) -> dict[int, set[str]]:
+    """Propagate suppression marks across each statement's span."""
+    if not marks:
+        return marks
+    spans = _statement_spans(tree)
+    expanded: dict[int, set[str]] = {
+        line: set(names) for line, names in marks.items()}
+    for line, names in marks.items():
+        for peer in spans.get(line, ()):
+            expanded.setdefault(peer, set()).update(names)
+    return expanded
+
+
 # -- checking -------------------------------------------------------------
 
 def _select_rules(rules: Sequence[Rule],
                   select: Optional[Iterable[str]] = None,
                   ignore: Optional[Iterable[str]] = None) -> list[Rule]:
+    """Filter rules by ``--select``/``--ignore`` names.
+
+    Names may be rule family ids (``determinism``) or individual
+    finding codes (``DET001``); a code keeps its whole rule active so
+    that code-level filtering can happen on the findings afterwards
+    (:func:`_finding_passes`).
+    """
     known = {rule.id for rule in rules}
+    codes = {code: rule.id for rule in rules for code in rule.codes}
     for name in list(select or []) + list(ignore or []):
-        if name not in known:
+        if name not in known and name not in codes:
             raise StatanError(
-                "unknown rule id {!r}; available: {}".format(
+                "unknown rule id or code {!r}; available: {}".format(
                     name, ", ".join(sorted(known))))
     active = list(rules)
     if select:
-        wanted = set(select)
+        wanted = {codes.get(name, name) for name in select}
         active = [rule for rule in active if rule.id in wanted]
     if ignore:
-        dropped = set(ignore)
+        # Only whole-family ignores disable a rule; code-level ignores
+        # leave the rule running and drop its findings later.
+        dropped = {name for name in ignore if name in known}
         active = [rule for rule in active if rule.id not in dropped]
     return active
+
+
+def _finding_passes(finding: Finding,
+                    select: Optional[Iterable[str]] = None,
+                    ignore: Optional[Iterable[str]] = None) -> bool:
+    """Code-level select/ignore filtering on an individual finding."""
+    if select:
+        names = set(select)
+        if finding.rule not in names and finding.code not in names:
+            return False
+    if ignore:
+        names = set(ignore)
+        if finding.rule in names or finding.code in names:
+            return False
+    return True
 
 
 def check_source(source: str, path: str = "<string>",
@@ -241,7 +336,7 @@ def check_source(source: str, path: str = "<string>",
     findings = sorted(ctx.findings,
                       key=lambda f: (f.line, f.col, f.code))
     if apply_suppressions:
-        marks = _suppressions(source)
+        marks = _expand_suppressions(_suppressions(source), tree)
         findings = [finding for finding in findings
                     if not _is_suppressed(finding, marks)]
     return findings
@@ -267,28 +362,81 @@ def check_paths(paths: Sequence[str],
                 rules: Optional[Sequence[Rule]] = None,
                 select: Optional[Iterable[str]] = None,
                 ignore: Optional[Iterable[str]] = None,
-                min_severity: Severity = Severity.INFO) -> Result:
-    """Check every ``*.py`` file under ``paths`` and aggregate findings."""
+                min_severity: Severity = Severity.INFO,
+                program_rules: object = "default",
+                baseline: Optional[Iterable[str]] = None) -> Result:
+    """Check every ``*.py`` file under ``paths`` and aggregate findings.
+
+    Runs the per-file rules file by file, then the whole-program passes
+    (:mod:`repro.statan.program`) over everything that parsed.  Pass
+    ``program_rules=None`` to skip the program passes, or a sequence to
+    override them.  ``baseline`` is an iterable of fingerprints whose
+    findings are hidden (counted in :attr:`Result.baselined`).
+    """
+    from repro.statan.program import ProgramRule, default_program_rules
+    from repro.statan.sarif import fingerprint_findings, split_by_baseline
+
     if rules is None:
         from repro.statan.rules import default_rules
         rules = default_rules()
-    rules = _select_rules(rules, select=select, ignore=ignore)
+    if program_rules == "default":
+        program_rules = default_program_rules()
+    combined = list(rules) + list(program_rules or ())
+    active = _select_rules(combined, select=select, ignore=ignore)
+    file_rules = [rule for rule in active
+                  if not isinstance(rule, ProgramRule)]
+    active_program = [rule for rule in active
+                      if isinstance(rule, ProgramRule)]
 
     result = Result()
+    sources: dict[str, str] = {}
+    parsed: list[tuple[str, str, ast.AST]] = []
+    marks_by_path: dict[str, dict[int, set[str]]] = {}
+
+    def _admit(finding: Finding, marks: dict[int, set[str]]) -> None:
+        if _is_suppressed(finding, marks):
+            result.suppressed += 1
+        elif finding.severity >= min_severity \
+                and _finding_passes(finding, select, ignore):
+            result.findings.append(finding)
+
     for path in _iter_python_files(paths):
         try:
             source = path.read_text(encoding="utf-8")
         except OSError as exc:
             raise StatanError("cannot read {}: {}".format(path, exc))
-        raw = check_source(source, str(path), rules,
-                           apply_suppressions=False)
-        marks = _suppressions(source)
-        for finding in raw:
-            if _is_suppressed(finding, marks):
-                result.suppressed += 1
-            elif finding.severity >= min_severity:
-                result.findings.append(finding)
+        name = str(path)
+        sources[name] = source
         result.files_checked += 1
+        try:
+            tree = ast.parse(source, filename=name)
+        except SyntaxError as exc:
+            _admit(Finding(
+                path=name, line=exc.lineno or 1,
+                col=(exc.offset or 0) or 1, code="STX001",
+                rule="syntax-error", severity=Severity.ERROR,
+                message="file does not parse: {}".format(exc.msg)), {})
+            continue
+        ctx = Context(name, source, tree)
+        for rule in file_rules:
+            rule.make_visitor(ctx).visit(tree)
+        marks = _expand_suppressions(_suppressions(source), tree)
+        marks_by_path[name] = marks
+        parsed.append((name, source, tree))
+        for finding in sorted(ctx.findings,
+                              key=lambda f: (f.line, f.col, f.code)):
+            _admit(finding, marks)
+
+    if active_program and parsed:
+        from repro.statan.program import check_program
+        for finding in check_program(parsed, active_program):
+            _admit(finding, marks_by_path.get(finding.path, {}))
+
+    result.findings = fingerprint_findings(result.findings, sources)
+    if baseline is not None:
+        fresh, known = split_by_baseline(result.findings, baseline)
+        result.findings = fresh
+        result.baselined = len(known)
     result.findings.sort(key=lambda f: (f.path, f.line, f.col, f.code))
     return result
 
@@ -310,16 +458,19 @@ def render_text(result: Result) -> str:
                    "" if result.files_checked == 1 else "s",
                    counts["error"], counts["warning"], counts["info"],
                    result.suppressed))
+    if result.baselined:
+        summary += ", {} baselined".format(result.baselined)
     lines.append(summary)
     return "\n".join(lines)
 
 
 def render_json(result: Result) -> str:
-    """Stable machine-readable report (schema version 1)."""
+    """Stable machine-readable report (schema version 2)."""
     payload = {
-        "version": 1,
+        "version": 2,
         "files_checked": result.files_checked,
         "suppressed": result.suppressed,
+        "baselined": result.baselined,
         "counts": result.counts(),
         "findings": [finding.to_dict() for finding in result.findings],
     }

@@ -1,0 +1,736 @@
+"""Whole-program statan passes: seed provenance, yield atomicity, RES003.
+
+The per-file rules catch hazards a single function body exposes; these
+passes compose the :mod:`~repro.statan.dataflow` summaries along the
+:mod:`~repro.statan.callgraph` to catch the interprocedural variants:
+
+``seed-provenance`` (SEED002, SEED003)
+    Tracks RNG/seed values across call boundaries.  SEED002 fires when
+    a function constructs a generator from a pinned seed while some
+    transitive caller holds the experiment's generator (the seed was
+    *available* and simply not threaded); helpers that build a
+    generator from their own parameters (``default_rng([seed, tag])``)
+    are understood and stay clean when called with caller-derived
+    material.  SEED003 fires when two construction sites share one
+    constant seed — their "independent" streams silently coincide, so
+    replicate runs share randomness.
+
+``yield-atomicity`` (RACE001-003)
+    A cooperative DES has no preemption *between* statements, but every
+    ``yield`` is a scheduling point where any other process may run.
+    RACE001: a local captured from shared state before a yield is
+    written back after it (lost update).  RACE002: a branch taken on
+    shared state yields before acting on that same state (check, lose
+    the CPU, act on a stale check).  RACE003: a yield inside iteration
+    over a shared container (mutation window during iteration).  Reads
+    and writes propagate through called helpers via their summaries;
+    regions holding a ``Resource``/``Store`` acquisition
+    (``with pool.request():`` or a ``*lock*`` context) are exempt.
+
+``resource-escape`` (RES003)
+    An acquisition that escapes the acquiring function (``try_acquire``
+    wrappers returning slots) must be released, returned, stored, or
+    handed on by every caller; a caller that simply drops the handle
+    leaks the slot in a way the per-function RES001/002 checks cannot
+    see.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Optional, Sequence
+
+from repro.statan.callgraph import (
+    CallGraph,
+    ClassInfo,
+    FunctionInfo,
+    ModuleInfo,
+    build_modules,
+)
+from repro.statan.dataflow import (
+    FunctionSummary,
+    Location,
+    location_of,
+    reads_in,
+    summarize,
+    writes_of,
+)
+from repro.statan.engine import Context, Finding, Severity
+from repro.statan.rules import _FUNCTIONS, _eventish
+
+__all__ = [
+    "ProgramIndex", "ProgramRule", "SeedProvenanceRule",
+    "YieldAtomicityRule", "ResourceEscapeRule", "default_program_rules",
+    "PROGRAM_RULES", "check_program",
+]
+
+
+class ProgramIndex:
+    """Parsed package: modules, summaries, call graph — built once."""
+
+    def __init__(self, modules: dict[str, ModuleInfo]) -> None:
+        self.modules = modules
+        self.callgraph = CallGraph(modules)
+        self.summaries: dict[str, FunctionSummary] = {}
+        for qname, info in self.callgraph.functions.items():
+            module = self.modules[info.path]
+            self.summaries[qname] = summarize(
+                info.node, qname=qname, constants=module.constants)
+
+    @classmethod
+    def build(cls, files: Sequence[tuple[str, str, ast.AST]]
+              ) -> "ProgramIndex":
+        return cls(build_modules(files))
+
+    def class_of(self, info: FunctionInfo) -> Optional[ClassInfo]:
+        if info.cls is None:
+            return None
+        return self.modules[info.path].classes.get(info.cls)
+
+    def summary_for(self, info: FunctionInfo) -> FunctionSummary:
+        return self.summaries[info.qname]
+
+
+class ProgramRule:
+    """Base class for whole-program passes.
+
+    Unlike :class:`~repro.statan.engine.Rule`, a program rule sees the
+    :class:`ProgramIndex` rather than one file's tree; it still reports
+    plain :class:`Finding` records so selection, suppression comments,
+    severity filtering, baselines and every reporter work unchanged.
+    """
+
+    id: str = "abstract-program"
+    description: str = ""
+    codes: tuple[str, ...] = ()
+
+    def check_program(self, index: ProgramIndex) -> list[Finding]:
+        raise NotImplementedError  # pragma: no cover
+
+    def _finding(self, info: FunctionInfo, node: ast.AST, code: str,
+                 severity: Severity, message: str) -> Finding:
+        return Finding(
+            path=info.path,
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0) + 1,
+            code=code, rule=self.id, severity=severity, message=message)
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return "<ProgramRule {}>".format(self.id)
+
+
+def _short_chain(chain: Sequence[str]) -> str:
+    return " -> ".join(q.split("::", 1)[-1] for q in chain)
+
+
+# -- seed provenance -------------------------------------------------------
+
+class SeedProvenanceRule(ProgramRule):
+    """Summary-based RNG/seed dataflow across call boundaries.
+
+    Replaces guessing with provenance: a pinned-seed ``default_rng``
+    two helpers below a function that *has* the experiment's generator
+    is exactly the bug SEED001's call-site heuristic cannot see.
+    Functions that themselves take ``rng``/``seed`` parameters are the
+    sanctioned fallback shape (``rng or default_rng(DEFAULT)``) and are
+    exempt from SEED002 — their call sites are SEED001's job — but
+    their pinned fallback seeds still participate in SEED003's
+    duplicate-stream check.
+    """
+
+    id = "seed-provenance"
+    description = "RNG constructed without threading the caller's seed"
+    codes = ("SEED002", "SEED003")
+
+    def check_program(self, index: ProgramIndex) -> list[Finding]:
+        findings: list[Finding] = []
+        graph = index.callgraph
+        roots = [qname for qname, summary in index.summaries.items()
+                 if summary.rng_available()]
+        parents = graph.reachable_from(roots)
+
+        constant_sites: list[tuple[FunctionInfo, ast.Call, object]] = []
+        for qname, summary in index.summaries.items():
+            info = graph.functions[qname]
+            for construction in summary.rng_constructions:
+                if construction.kind not in ("constant", "unseeded"):
+                    continue
+                if construction.kind == "constant" \
+                        and construction.value is not None:
+                    constant_sites.append(
+                        (info, construction.node, construction.value))
+                if summary.rng_available():
+                    continue  # documented fallback shape
+                if qname in parents and parents[qname]:
+                    chain = graph.chain(parents, qname)
+                    findings.append(self._finding(
+                        info, construction.node, "SEED002",
+                        Severity.WARNING,
+                        "'{}' builds a Generator from {} while its "
+                        "caller chain ({}) holds the experiment's "
+                        "rng/seed; thread it through instead of "
+                        "pinning a fresh stream".format(
+                            info.name,
+                            "OS entropy"
+                            if construction.kind == "unseeded"
+                            else "a fixed seed",
+                            _short_chain(chain))))
+
+        # Helper call sites: ``tagged_rng(42, "probe")`` where the
+        # helper builds its generator from those parameters.
+        for site in graph.sites:
+            helper = index.summaries.get(site.callee)
+            if helper is None or not helper.returns_rng_from:
+                continue
+            caller = index.summaries.get(site.caller)
+            caller_info = graph.functions[site.caller]
+            if caller is None or caller.rng_available():
+                continue
+            seed_args = self._args_for(site.node, helper)
+            if not seed_args:
+                continue
+            derived = set(caller.params)
+            if any(self._derives_from(arg, derived) for arg in seed_args):
+                continue
+            if not all(self._constant_only(arg, index, caller_info)
+                       for arg in seed_args):
+                continue
+            if site.caller in parents and parents[site.caller]:
+                chain = graph.chain(parents, site.caller)
+                findings.append(self._finding(
+                    caller_info, site.node, "SEED002", Severity.WARNING,
+                    "'{}' seeds the rng helper '{}' with fixed values "
+                    "while its caller chain ({}) holds the "
+                    "experiment's rng/seed; pass caller-derived seed "
+                    "material".format(
+                        caller_info.name,
+                        site.callee.split("::", 1)[-1],
+                        _short_chain(chain))))
+
+        by_value: dict[object, list[tuple[FunctionInfo, ast.Call]]] = {}
+        for info, node, value in constant_sites:
+            by_value.setdefault(value, []).append((info, node))
+        for value, sites in sorted(
+                by_value.items(), key=lambda item: repr(item[0])):
+            if len(sites) < 2:
+                continue
+            for info, node in sites:
+                others = ", ".join(
+                    "{}:{}".format(other.path, other_node.lineno)
+                    for other, other_node in sites
+                    if other_node is not node)
+                findings.append(self._finding(
+                    info, node, "SEED003", Severity.WARNING,
+                    "constant seed {!r} also builds a Generator at {}; "
+                    "the 'independent' streams coincide — derive child "
+                    "seeds from one root generator (rng.integers / "
+                    "SeedSequence.spawn)".format(value, others)))
+        return findings
+
+    @staticmethod
+    def _args_for(call: ast.Call,
+                  helper: FunctionSummary) -> list[ast.AST]:
+        params = [p for p in helper.params if p != "self"]
+        out: list[ast.AST] = []
+        for index, arg in enumerate(call.args):
+            if index < len(params) and params[index] in \
+                    helper.returns_rng_from:
+                out.append(arg)
+        for keyword in call.keywords:
+            if keyword.arg in helper.returns_rng_from:
+                out.append(keyword.value)
+        return out
+
+    @staticmethod
+    def _derives_from(expr: ast.AST, derived: set[str]) -> bool:
+        return any(isinstance(node, ast.Name) and node.id in derived
+                   for node in ast.walk(expr))
+
+    @staticmethod
+    def _constant_only(expr: ast.AST, index: ProgramIndex,
+                       info: FunctionInfo) -> bool:
+        constants = index.modules[info.path].constants
+        for node in ast.walk(expr):
+            if isinstance(node, ast.Name) and node.id not in constants:
+                return False
+            if isinstance(node, (ast.Attribute, ast.Call)):
+                return False
+        return True
+
+
+# -- yield atomicity -------------------------------------------------------
+
+#: ``with`` context receivers that guard a critical section.
+_GUARD_ATTRS = {"request", "acquire"}
+
+
+def _is_guard_with(node: ast.With) -> bool:
+    for item in node.items:
+        expr = item.context_expr
+        if isinstance(expr, ast.Call) \
+                and isinstance(expr.func, ast.Attribute) \
+                and expr.func.attr in _GUARD_ATTRS:
+            return True
+        name = None
+        if isinstance(expr, ast.Call):
+            name = expr.func.attr \
+                if isinstance(expr.func, ast.Attribute) else None
+        elif isinstance(expr, ast.Attribute):
+            name = expr.attr
+        elif isinstance(expr, ast.Name):
+            name = expr.id
+        if name is not None and ("lock" in name.lower()
+                                 or "mutex" in name.lower()):
+            return True
+    return False
+
+
+def _own_statements(node: ast.AST):
+    """All nodes under ``node``, skipping nested function/lambda bodies."""
+    stack = list(ast.iter_child_nodes(node))
+    while stack:
+        child = stack.pop()
+        if isinstance(child, _FUNCTIONS + (ast.Lambda,)):
+            continue
+        yield child
+        stack.extend(ast.iter_child_nodes(child))
+
+
+class _GeneratorAnalysis:
+    """RACE001-003 over one process-generator function."""
+
+    def __init__(self, rule: "YieldAtomicityRule", index: ProgramIndex,
+                 info: FunctionInfo) -> None:
+        self.rule = rule
+        self.index = index
+        self.info = info
+        self.module = index.modules[info.path]
+        self.cls = index.class_of(info)
+        summary = index.summary_for(info)
+        self.roots = set(summary.params) | {"self"}
+        self.yield_lines = sorted(
+            node.lineno for node in _own_statements(info.node)
+            if isinstance(node, (ast.Yield, ast.YieldFrom)))
+        self.guard_ranges = [
+            (node.lineno, node.end_lineno or node.lineno)
+            for node in _own_statements(info.node)
+            if isinstance(node, ast.With) and _is_guard_with(node)]
+
+    # -- helper-summary composition ---------------------------------------
+
+    def _callees(self, call: ast.Call):
+        """(summary, self_root, {callee-param: caller-arg-name}) per target."""
+        out = []
+        for target in self.index.callgraph.resolve_call(
+                call, self.module, self.cls):
+            summary = self.index.summaries.get(target.qname)
+            if summary is None:
+                continue
+            self_root: Optional[str] = None
+            if isinstance(call.func, ast.Attribute):
+                receiver = call.func.value
+                if isinstance(receiver, ast.Name) \
+                        and receiver.id in self.roots:
+                    self_root = receiver.id
+            params = [p for p in summary.params if p != "self"]
+            arg_map: dict[str, set[str]] = {}
+            names_of = lambda expr: {  # noqa: E731 — tiny local helper
+                sub.id for sub in ast.walk(expr)
+                if isinstance(sub, ast.Name)}
+            for position, arg in enumerate(call.args):
+                if position < len(params):
+                    arg_map[params[position]] = names_of(arg)
+            for keyword in call.keywords:
+                if keyword.arg is not None:
+                    arg_map[keyword.arg] = names_of(keyword.value)
+            out.append((summary, self_root, arg_map))
+        return out
+
+    def _reroot(self, loc: Location, self_root: Optional[str]
+                ) -> Optional[Location]:
+        root, attr = loc
+        if root == "self":
+            if self_root is None:
+                return None
+            return (self_root, attr) if self_root != "self" \
+                else ("self", attr)
+        return None
+
+    def expr_reads(self, expr: ast.AST) -> set[Location]:
+        """Direct reads plus (re-rooted) reads of called helpers."""
+        out = reads_in(expr, self.roots)
+        for node in ast.walk(expr):
+            if isinstance(node, ast.Call):
+                for summary, self_root, _ in self._callees(node):
+                    for loc in summary.ret_reads | summary.shared_reads:
+                        mapped = self._reroot(loc, self_root)
+                        if mapped is not None:
+                            out.add(mapped)
+        return out
+
+    def stmt_writes(self, stmt: ast.AST) -> set[Location]:
+        """Direct writes plus (re-rooted) writes of called helpers."""
+        out = writes_of(stmt, self.roots)
+        for node in ast.walk(stmt):
+            if isinstance(node, ast.Call):
+                for summary, self_root, _ in self._callees(node):
+                    for loc in summary.shared_writes:
+                        mapped = self._reroot(loc, self_root)
+                        if mapped is not None:
+                            out.add(mapped)
+        return out
+
+    def stmt_param_writes(self, stmt: ast.AST
+                          ) -> list[tuple[str, Location]]:
+        """``(caller-local, written-location)`` flows through helpers."""
+        out: list[tuple[str, Location]] = []
+        for node in ast.walk(stmt):
+            if isinstance(node, ast.Call):
+                for summary, self_root, arg_map in self._callees(node):
+                    for param, locs in summary.param_writes.items():
+                        for local in arg_map.get(param, ()):
+                            for loc in locs:
+                                mapped = self._reroot(loc, self_root)
+                                if mapped is not None:
+                                    out.append((local, mapped))
+        return out
+
+    # -- region helpers ----------------------------------------------------
+
+    def yields_between(self, start: int, end: int) -> bool:
+        return any(start < line <= end for line in self.yield_lines)
+
+    def guarded(self, start: int, end: int) -> bool:
+        return any(lo <= start and end <= hi
+                   for lo, hi in self.guard_ranges)
+
+    # -- the checks --------------------------------------------------------
+
+    def run(self) -> list[Finding]:
+        findings: list[Finding] = []
+        findings += self._race001()
+        findings += self._race002()
+        findings += self._race003()
+        return findings
+
+    def _race001(self) -> list[Finding]:
+        taints: list[tuple[str, set[Location], int]] = []
+        for node in _own_statements(self.info.node):
+            if isinstance(node, ast.Assign) \
+                    and len(node.targets) == 1 \
+                    and isinstance(node.targets[0], ast.Name):
+                sources = self.expr_reads(node.value)
+                if sources:
+                    taints.append(
+                        (node.targets[0].id, sources, node.lineno))
+        if not taints:
+            return []
+        findings = []
+        for stmt in _own_statements(self.info.node):
+            if not isinstance(stmt, (ast.Assign, ast.AugAssign,
+                                     ast.Expr)):
+                continue
+            value = getattr(stmt, "value", None)
+            if value is None:
+                continue
+            used = {node.id for node in ast.walk(value)
+                    if isinstance(node, ast.Name)}
+            writes = set()
+            if isinstance(stmt, (ast.Assign, ast.AugAssign)):
+                writes = writes_of(stmt, self.roots)
+            flows = [(local, loc)
+                     for local, loc in self.stmt_param_writes(stmt)]
+            for local, sources, read_line in taints:
+                if stmt.lineno <= read_line:
+                    continue
+                hit_locs = set()
+                if local in used:
+                    hit_locs |= writes & sources
+                hit_locs |= {loc for flow_local, loc in flows
+                             if flow_local == local and loc in sources}
+                for loc in sorted(hit_locs):
+                    if not self.yields_between(read_line, stmt.lineno):
+                        continue
+                    if self.guarded(read_line, stmt.lineno):
+                        continue
+                    findings.append(self.rule._finding(
+                        self.info, stmt, "RACE001", Severity.WARNING,
+                        "'{}' was read from '{}' on line {} and is "
+                        "written back here after a yield: another "
+                        "process can update '{}' in between, and this "
+                        "write clobbers it (lost update); re-read "
+                        "after resuming or hold the guarding resource "
+                        "across the region".format(
+                            local, _loc_str(loc), read_line,
+                            _loc_str(loc))))
+        return findings
+
+    def _race002(self) -> list[Finding]:
+        findings = []
+        for branch in _own_statements(self.info.node):
+            if not isinstance(branch, (ast.If, ast.While)):
+                continue
+            if isinstance(branch.test, ast.Constant):
+                continue
+            test_reads = self.expr_reads(branch.test)
+            if not test_reads:
+                continue
+            for body in (branch.body, branch.orelse):
+                if not body:
+                    continue
+                findings += self._check_branch(branch, body, test_reads)
+        return findings
+
+    def _check_branch(self, branch, body, test_reads) -> list[Finding]:
+        start = body[0].lineno
+        end = max((stmt.end_lineno or stmt.lineno) for stmt in body)
+        branch_yields = [line for line in self.yield_lines
+                         if start <= line <= end]
+        if not branch_yields:
+            return []
+        findings = []
+        nodes = [node for stmt in body for node in
+                 [stmt] + list(_own_statements(stmt))]
+        for node in nodes:
+            writes = self.stmt_writes(node) if isinstance(
+                node, (ast.Assign, ast.AugAssign, ast.Expr)) else set()
+            stale = writes & test_reads
+            if not stale:
+                continue
+            first_yield = min((line for line in branch_yields
+                               if line < node.lineno), default=None)
+            if first_yield is None:
+                continue
+            if self.guarded(branch.lineno, node.lineno):
+                continue
+            # Re-checked after resuming: a fresh read of the location
+            # between the last pre-write yield and the write means the
+            # code already revalidates its condition.
+            last_yield = max(line for line in branch_yields
+                             if line < node.lineno)
+            if self._reread_between(stale, last_yield, node.lineno):
+                continue
+            for loc in sorted(stale):
+                findings.append(self.rule._finding(
+                    self.info, node, "RACE002", Severity.WARNING,
+                    "branch on '{}' (line {}) yields before acting on "
+                    "it here: the check can go stale while another "
+                    "process runs; re-check '{}' after the yield or "
+                    "guard the section with a Resource "
+                    "acquisition".format(
+                        _loc_str(loc), branch.lineno, _loc_str(loc))))
+        return findings
+
+    def _reread_between(self, locs: set[Location], start: int,
+                        end: int) -> bool:
+        for node in _own_statements(self.info.node):
+            lineno = getattr(node, "lineno", None)
+            if lineno is None or not (start < lineno < end):
+                continue
+            if isinstance(node, (ast.If, ast.While)):
+                if self.expr_reads(node.test) & locs:
+                    return True
+            elif isinstance(node, ast.Assign) and node.value is not None:
+                if reads_in(node.value, self.roots) & locs:
+                    return True
+        return False
+
+    def _race003(self) -> list[Finding]:
+        findings = []
+        for loop in _own_statements(self.info.node):
+            if not isinstance(loop, ast.For):
+                continue
+            target = loop.iter
+            if isinstance(target, ast.Call):
+                continue  # ``for x in list(self.queue)``: a snapshot
+            loc = location_of(target)
+            if loc is None or loc[0] not in self.roots:
+                continue
+            body_has_yield = any(
+                isinstance(node, (ast.Yield, ast.YieldFrom))
+                for stmt in loop.body for node in
+                [stmt] + list(_own_statements(stmt)))
+            if not body_has_yield:
+                continue
+            if self.guarded(loop.lineno, loop.end_lineno or loop.lineno):
+                continue
+            findings.append(self.rule._finding(
+                self.info, loop, "RACE003", Severity.WARNING,
+                "yield inside iteration over shared container '{}': "
+                "another process can mutate it mid-iteration; iterate "
+                "a snapshot (list(...)) or restructure the "
+                "loop".format(_loc_str(loc))))
+        return findings
+
+
+def _loc_str(loc: Location) -> str:
+    return "{}.{}".format(*loc)
+
+
+class YieldAtomicityRule(ProgramRule):
+    """Read-yield-write hazards in simulation process generators."""
+
+    id = "yield-atomicity"
+    description = "shared-state races across process yield points"
+    codes = ("RACE001", "RACE002", "RACE003")
+
+    def check_program(self, index: ProgramIndex) -> list[Finding]:
+        findings: list[Finding] = []
+        for qname, summary in index.summaries.items():
+            if not summary.is_generator:
+                continue
+            info = index.callgraph.functions[qname]
+            if not self._is_process(info.node):
+                continue
+            findings += _GeneratorAnalysis(self, index, info).run()
+        return findings
+
+    @staticmethod
+    def _is_process(func: ast.AST) -> bool:
+        docstring = ast.get_docstring(func) or ""
+        if "process generator" in docstring.lower():
+            return True
+        for node in _own_statements(func):
+            if isinstance(node, ast.Yield) and node.value is not None \
+                    and _eventish(node.value):
+                return True
+        return False
+
+
+# -- resource lifetime -----------------------------------------------------
+
+#: Methods that retire an acquired handle.
+_RELEASE_ATTRS = {"release", "cancel", "cancel_or_release", "close"}
+
+
+class ResourceEscapeRule(ProgramRule):
+    """Escaped acquisitions must be retired by every caller."""
+
+    id = "resource-escape"
+    description = "acquired slot escapes without a release on any path"
+    codes = ("RES003",)
+
+    def check_program(self, index: ProgramIndex) -> list[Finding]:
+        findings: list[Finding] = []
+        graph = index.callgraph
+        escaping = {qname for qname, summary in index.summaries.items()
+                    if summary.returns_acquired}
+        if not escaping:
+            return findings
+        for site in graph.sites:
+            if site.callee not in escaping:
+                continue
+            caller = graph.functions[site.caller]
+            caller_summary = index.summaries[site.caller]
+            if caller_summary.returns_acquired \
+                    or "acquire" in caller.name:
+                continue  # a wrapper handing the slot further up
+            handle = self._bound_name(caller.node, site.node)
+            if handle is None:
+                findings.append(self._finding(
+                    caller, site.node, "RES003", Severity.WARNING,
+                    "result of '{}' (an acquired slot) is discarded; "
+                    "the slot can never be released".format(
+                        site.callee.split("::", 1)[-1])))
+                continue
+            if self._retired_or_escapes(caller.node, handle, site.node):
+                continue
+            findings.append(self._finding(
+                caller, site.node, "RES003", Severity.WARNING,
+                "'{}' acquired via '{}' is neither released nor "
+                "handed on in '{}'; the slot leaks when this "
+                "function returns".format(
+                    handle, site.callee.split("::", 1)[-1],
+                    caller.name)))
+        return findings
+
+    @staticmethod
+    def _bound_name(func: ast.AST, call: ast.Call) -> Optional[str]:
+        for node in _own_statements(func):
+            if not isinstance(node, ast.Assign):
+                continue
+            value = node.value
+            # ``endpoint = yield from mech.get_endpoint(member)`` binds
+            # the generator's return value just like a plain call.
+            if isinstance(value, (ast.YieldFrom, ast.Await)):
+                value = value.value
+            if value is call and len(node.targets) == 1 \
+                    and isinstance(node.targets[0], ast.Name):
+                return node.targets[0].id
+        return None
+
+    @staticmethod
+    def _retired_or_escapes(func: ast.AST, handle: str,
+                            call: ast.Call) -> bool:
+        for node in _own_statements(func):
+            if isinstance(node, ast.Call):
+                if node is call:
+                    continue
+                func_expr = node.func
+                if isinstance(func_expr, ast.Attribute) \
+                        and isinstance(func_expr.value, ast.Name) \
+                        and func_expr.value.id == handle \
+                        and func_expr.attr in _RELEASE_ATTRS:
+                    return True
+                for arg in list(node.args) + \
+                        [kw.value for kw in node.keywords]:
+                    if any(isinstance(sub, ast.Name) and sub.id == handle
+                           for sub in ast.walk(arg)):
+                        return True  # handed to another owner
+            elif isinstance(node, (ast.Return, ast.Yield, ast.YieldFrom)):
+                value = node.value
+                if value is not None and any(
+                        isinstance(sub, ast.Name) and sub.id == handle
+                        for sub in ast.walk(value)):
+                    return True
+            elif isinstance(node, ast.Assign):
+                if node.value is not None and not (
+                        isinstance(node.value, ast.Call)
+                        and node.value is call):
+                    targets_attr = any(
+                        isinstance(target, (ast.Attribute, ast.Subscript))
+                        for target in node.targets)
+                    if targets_attr and any(
+                            isinstance(sub, ast.Name)
+                            and sub.id == handle
+                            for sub in ast.walk(node.value)):
+                        return True  # stored: ownership transferred
+            elif isinstance(node, ast.With):
+                for item in node.items:
+                    if any(isinstance(sub, ast.Name) and sub.id == handle
+                           for sub in ast.walk(item.context_expr)):
+                        return True
+        return False
+
+
+#: The default whole-program passes, in reporting order.
+PROGRAM_RULES: tuple[ProgramRule, ...] = (
+    SeedProvenanceRule(),
+    YieldAtomicityRule(),
+    ResourceEscapeRule(),
+)
+
+
+def default_program_rules() -> tuple[ProgramRule, ...]:
+    """The built-in program passes (stateless, shared instances)."""
+    return PROGRAM_RULES
+
+
+def check_program(files: Sequence[tuple[str, str, ast.AST]],
+                  rules: Optional[Sequence[ProgramRule]] = None
+                  ) -> list[Finding]:
+    """Run the program passes over parsed ``(path, source, tree)`` files."""
+    if rules is None:
+        rules = default_program_rules()
+    if not files:
+        return []
+    index = ProgramIndex.build(files)
+    findings: list[Finding] = []
+    for rule in rules:
+        findings.extend(rule.check_program(index))
+    findings.sort(key=lambda f: (f.path, f.line, f.col, f.code))
+    return findings
+
+
+# Context is re-exported for typing parity with engine.Rule users.
+_ = Context

@@ -691,6 +691,11 @@ class SeedThreadingRule(Rule):
         name = _dotted(node.func)
         if name is None:
             return
+        if name.split(".", 1)[0] in ("self", "cls"):
+            # ``self.build_system(...)`` is a same-named method on this
+            # object, not the topology builder — the instance already
+            # owns its rng.
+            return
         short = name.rsplit(".", 1)[-1]
         position = _SEEDED_BUILDERS.get(short)
         if position is None:
@@ -751,6 +756,7 @@ class PerfHotPathRule(Rule):
         class Visitor(ast.NodeVisitor):
             def __init__(self) -> None:
                 self._loop_depth = 0
+                self._func_stack: list[str] = []
 
             def visit_Import(self, node: ast.Import) -> None:
                 if applies and not is_scheduler:
@@ -765,8 +771,10 @@ class PerfHotPathRule(Rule):
 
             def visit_Call(self, node: ast.Call) -> None:
                 if applies:
+                    in_setup = any(rule._is_setup_name(name)
+                                   for name in self._func_stack)
                     rule._check_call(ctx, node, is_scheduler,
-                                     self._loop_depth)
+                                     0 if in_setup else self._loop_depth)
                 self.generic_visit(node)
 
             def visit_For(self, node: ast.For) -> None:
@@ -776,7 +784,32 @@ class PerfHotPathRule(Rule):
 
             visit_While = visit_For
 
+            def visit_FunctionDef(self, node) -> None:
+                # A function body starts its own loop context: a loop
+                # *containing* a def does not make the def's body hot.
+                self._func_stack.append(node.name)
+                outer_depth, self._loop_depth = self._loop_depth, 0
+                self.generic_visit(node)
+                self._loop_depth = outer_depth
+                self._func_stack.pop()
+
+            visit_AsyncFunctionDef = visit_FunctionDef
+
         return Visitor()
+
+    @staticmethod
+    def _is_setup_name(name: str) -> bool:
+        """Constructors and warm-up helpers allocate by design.
+
+        ``__init__``/``__new__`` and ``setup``/``prewarm``/``warm``-
+        style helpers run once per object or per experiment, not once
+        per event — a pool-class construction loop there is the free
+        list being *filled*, not bypassed.
+        """
+        bare = name.lstrip("_")
+        return (name in ("__init__", "__new__", "__init_subclass__")
+                or bare.startswith(("setup", "prewarm", "warm",
+                                    "build", "make_", "init_")))
 
     def _report_heapq(self, ctx: Context, node: ast.AST) -> None:
         ctx.report(node, "PERF001", self.id, Severity.WARNING,

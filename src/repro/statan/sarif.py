@@ -1,0 +1,236 @@
+"""SARIF 2.1.0 output and fingerprinted baselines for statan.
+
+Two pieces of CI plumbing live here:
+
+Fingerprints
+    Every finding gets a stable fingerprint: the SHA-1 of
+    ``code|path|stripped source line|occurrence index``.  Hashing the
+    *content* of the flagged line rather than its number keeps the
+    fingerprint stable when unrelated edits shift the file, while the
+    occurrence index disambiguates identical lines (two ``x += 1`` in
+    one file).
+
+Baselines
+    ``statan-baseline.json`` records the fingerprints of known,
+    reviewed findings.  ``--baseline`` suppresses exactly those — the
+    run stays green on the accepted debt and fails on anything new, so
+    a stricter pass can gate CI the day it lands instead of after a
+    big-bang cleanup.  ``--write-baseline`` refreshes the file after a
+    deliberate review.
+
+SARIF
+    :func:`render_sarif` emits a single-run SARIF 2.1.0 log with one
+    ``reportingDescriptor`` per finding code and the fingerprint under
+    ``partialFingerprints`` so GitHub code scanning tracks findings
+    across commits.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from typing import TYPE_CHECKING, Iterable, Optional, Sequence
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.statan.engine import Finding
+
+__all__ = [
+    "fingerprint_findings", "load_baseline", "write_baseline",
+    "render_baseline", "split_by_baseline", "render_sarif",
+    "SARIF_SCHEMA", "SARIF_VERSION", "BASELINE_VERSION",
+    "FINGERPRINT_KEY",
+]
+
+SARIF_SCHEMA = ("https://json.schemastore.org/sarif-2.1.0.json")
+SARIF_VERSION = "2.1.0"
+BASELINE_VERSION = 1
+#: partialFingerprints key; bump the suffix if the recipe ever changes.
+FINGERPRINT_KEY = "statanFingerprint/v1"
+
+_LEVELS = {"error": "error", "warning": "warning", "info": "note"}
+
+
+def _normalize_path(path: str) -> str:
+    return path.replace("\\", "/")
+
+
+def _fingerprint_path(path: str) -> str:
+    """Checkout-independent form of a path for hashing.
+
+    ``/home/ci/repo/src/repro/x.py`` and ``src/repro/x.py`` must
+    produce the same fingerprint, so everything before the last
+    ``src/`` segment is dropped.
+    """
+    normalized = _normalize_path(path).lstrip("./")
+    index = normalized.rfind("/src/")
+    if index >= 0:
+        return normalized[index + 1:]
+    return normalized
+
+
+def compute_fingerprint(code: str, path: str, line_text: str,
+                        occurrence: int) -> str:
+    """SHA-1 over code, path, stripped line content and occurrence."""
+    payload = "|".join(
+        (code, _fingerprint_path(path), line_text.strip(),
+         str(occurrence)))
+    return hashlib.sha1(payload.encode("utf-8")).hexdigest()
+
+
+def fingerprint_findings(findings: Sequence["Finding"],
+                         sources: dict[str, str]) -> list["Finding"]:
+    """Return findings with :attr:`Finding.fingerprint` filled in.
+
+    ``sources`` maps path -> file content.  Findings for paths without
+    source (should not happen in practice) hash an empty line.
+    """
+    lines_by_path: dict[str, list[str]] = {}
+    for path, source in sources.items():
+        lines_by_path[_normalize_path(path)] = source.splitlines()
+    seen: dict[tuple[str, str, str], int] = {}
+    out: list["Finding"] = []
+    for finding in sorted(findings,
+                          key=lambda f: (f.path, f.line, f.col, f.code)):
+        path = _normalize_path(finding.path)
+        lines = lines_by_path.get(path, [])
+        line_text = lines[finding.line - 1] \
+            if 0 < finding.line <= len(lines) else ""
+        key = (finding.code, path, line_text.strip())
+        occurrence = seen.get(key, 0)
+        seen[key] = occurrence + 1
+        out.append(finding.with_fingerprint(compute_fingerprint(
+            finding.code, path, line_text, occurrence)))
+    return out
+
+
+# -- baseline --------------------------------------------------------------
+
+def render_baseline(findings: Sequence["Finding"]) -> str:
+    """Serialize findings into baseline JSON (fingerprints + context)."""
+    payload = {
+        "version": BASELINE_VERSION,
+        "findings": [
+            {
+                "fingerprint": finding.fingerprint,
+                "code": finding.code,
+                "path": _normalize_path(finding.path),
+                "message": finding.message,
+            }
+            for finding in sorted(
+                findings, key=lambda f: (f.path, f.line, f.col, f.code))
+        ],
+    }
+    return json.dumps(payload, indent=2, sort_keys=True) + "\n"
+
+
+def write_baseline(path: str, findings: Sequence["Finding"]) -> None:
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(render_baseline(findings))
+
+
+def load_baseline(path: str) -> set[str]:
+    """Fingerprint set from a baseline file.
+
+    Raises ``ValueError`` on malformed files so the CLI can exit 2
+    (usage error) rather than silently gating against nothing.
+    """
+    with open(path, "r", encoding="utf-8") as handle:
+        payload = json.load(handle)
+    if not isinstance(payload, dict) or "findings" not in payload:
+        raise ValueError(
+            "baseline {}: expected an object with 'findings'".format(path))
+    fingerprints: set[str] = set()
+    for entry in payload["findings"]:
+        if not isinstance(entry, dict) or "fingerprint" not in entry:
+            raise ValueError(
+                "baseline {}: every finding needs a "
+                "'fingerprint'".format(path))
+        fingerprints.add(entry["fingerprint"])
+    return fingerprints
+
+
+def split_by_baseline(findings: Sequence["Finding"],
+                      fingerprints: Iterable[str]
+                      ) -> tuple[list["Finding"], list["Finding"]]:
+    """``(new, baselined)`` partition of findings by fingerprint."""
+    known = set(fingerprints)
+    new: list["Finding"] = []
+    baselined: list["Finding"] = []
+    for finding in findings:
+        if finding.fingerprint and finding.fingerprint in known:
+            baselined.append(finding)
+        else:
+            new.append(finding)
+    return new, baselined
+
+
+# -- SARIF -----------------------------------------------------------------
+
+def _rule_index(findings: Sequence["Finding"]
+                ) -> list[tuple[str, "Finding"]]:
+    by_code: dict[str, "Finding"] = {}
+    for finding in findings:
+        by_code.setdefault(finding.code, finding)
+    return sorted(by_code.items())
+
+
+def render_sarif(findings: Sequence["Finding"],
+                 tool_version: Optional[str] = None) -> str:
+    """Single-run SARIF 2.1.0 log for the given findings."""
+    rules = []
+    code_to_index: dict[str, int] = {}
+    for code, exemplar in _rule_index(findings):
+        code_to_index[code] = len(rules)
+        rules.append({
+            "id": code,
+            "name": exemplar.rule,
+            "shortDescription": {"text": "{} ({})".format(
+                code, exemplar.rule)},
+            "defaultConfiguration": {
+                "level": _LEVELS.get(exemplar.severity.label, "warning"),
+            },
+        })
+    results = []
+    for finding in sorted(findings,
+                          key=lambda f: (f.path, f.line, f.col, f.code)):
+        result = {
+            "ruleId": finding.code,
+            "ruleIndex": code_to_index[finding.code],
+            "level": _LEVELS.get(finding.severity.label, "warning"),
+            "message": {"text": finding.message},
+            "locations": [{
+                "physicalLocation": {
+                    "artifactLocation": {
+                        "uri": _normalize_path(finding.path),
+                        "uriBaseId": "SRCROOT",
+                    },
+                    "region": {
+                        "startLine": finding.line,
+                        "startColumn": finding.col,
+                    },
+                },
+            }],
+        }
+        if finding.fingerprint:
+            result["partialFingerprints"] = {
+                FINGERPRINT_KEY: finding.fingerprint,
+            }
+        results.append(result)
+    driver = {
+        "name": "statan",
+        "informationUri":
+            "https://example.invalid/repro-lb/statan",
+        "rules": rules,
+    }
+    if tool_version:
+        driver["version"] = tool_version
+    log = {
+        "$schema": SARIF_SCHEMA,
+        "version": SARIF_VERSION,
+        "runs": [{
+            "tool": {"driver": driver},
+            "results": results,
+            "columnKind": "unicodeCodePoints",
+        }],
+    }
+    return json.dumps(log, indent=2, sort_keys=True) + "\n"

@@ -87,8 +87,14 @@ class TestStatanCommand:
         assert "statan" in capsys.readouterr().err
 
     def test_repo_source_tree_is_clean_at_warning(self):
-        """The CI gate, end to end: src/repro lints clean."""
+        """The CI gate, end to end: src/repro lints clean.
+
+        The committed baseline covers the accepted SEED003 trio (the
+        shared seed-0 fallbacks whose fix would break golden traces);
+        anything *new* still fails this test, exactly like CI.
+        """
         assert main(["statan", "src/repro",
+                     "--baseline", "statan-baseline.json",
                      "--min-severity", "warning"]) == 0
 
 

@@ -1,0 +1,180 @@
+"""SARIF 2.1.0 output and the fingerprint/baseline workflow."""
+
+import json
+import re
+import textwrap
+
+import pytest
+
+from repro.cli import main as cli_main
+from repro.statan import check_paths, render_sarif
+from repro.statan.sarif import (
+    FINGERPRINT_KEY,
+    compute_fingerprint,
+    load_baseline,
+    render_baseline,
+    split_by_baseline,
+)
+
+DIRTY = "import time\nt = time.time()\n"
+
+
+def _findings(tmp_path, source=DIRTY, name="mod.py"):
+    module = tmp_path / name
+    module.write_text(source)
+    return check_paths([str(module)]).findings
+
+
+# -- SARIF shape -----------------------------------------------------------
+
+class TestSarif:
+    def test_sarif_210_shape(self, tmp_path):
+        log = json.loads(render_sarif(_findings(tmp_path)))
+        assert log["version"] == "2.1.0"
+        assert log["$schema"].endswith("sarif-2.1.0.json")
+        (run,) = log["runs"]
+        driver = run["tool"]["driver"]
+        assert driver["name"] == "statan"
+        rule_ids = [rule["id"] for rule in driver["rules"]]
+        assert "DET001" in rule_ids
+        for rule in driver["rules"]:
+            assert set(rule) >= {
+                "id", "name", "shortDescription", "defaultConfiguration"}
+        result = run["results"][0]
+        assert set(result) >= {
+            "ruleId", "ruleIndex", "level", "message", "locations",
+            "partialFingerprints"}
+        location = result["locations"][0]["physicalLocation"]
+        assert location["artifactLocation"]["uri"].endswith("mod.py")
+        assert location["region"]["startLine"] == 2
+        assert result["ruleId"] == "DET001"
+        assert result["level"] == "error"
+        assert driver["rules"][result["ruleIndex"]]["id"] == "DET001"
+
+    def test_severity_maps_to_sarif_levels(self, tmp_path):
+        source = textwrap.dedent("""
+            import time
+
+            def worker(env):
+                t = time.time()
+                yield env.timeout(1.0)
+                return 42
+        """)
+        log = json.loads(render_sarif(_findings(tmp_path, source)))
+        levels = {r["ruleId"]: r["level"]
+                  for r in log["runs"][0]["results"]}
+        assert levels["DET001"] == "error"
+        assert levels["PROC003"] == "warning"
+
+    def test_fingerprint_key_is_versioned(self, tmp_path):
+        log = json.loads(render_sarif(_findings(tmp_path)))
+        prints = log["runs"][0]["results"][0]["partialFingerprints"]
+        assert FINGERPRINT_KEY in prints
+        assert re.fullmatch(r"[0-9a-f]{40}", prints[FINGERPRINT_KEY])
+
+    def test_empty_run_is_valid(self):
+        log = json.loads(render_sarif([]))
+        assert log["runs"][0]["results"] == []
+        assert log["runs"][0]["tool"]["driver"]["rules"] == []
+
+
+# -- fingerprints ----------------------------------------------------------
+
+class TestFingerprints:
+    def test_stable_across_unrelated_line_shifts(self, tmp_path):
+        before = _findings(tmp_path, DIRTY, "a.py")
+        shifted = "# a comment\n\nVALUE = 1\n" + DIRTY
+        after = _findings(tmp_path, shifted, "a.py")
+        assert [f.code for f in before] == [f.code for f in after]
+        assert [f.fingerprint for f in before] == \
+            [f.fingerprint for f in after]
+        assert before[0].line != after[0].line
+
+    def test_checkout_prefix_independent(self):
+        assert compute_fingerprint(
+            "DET001", "/ci/checkout/src/repro/x.py", "t = time.time()", 0
+        ) == compute_fingerprint(
+            "DET001", "src/repro/x.py", "t = time.time()", 0)
+
+    def test_identical_lines_disambiguated_by_occurrence(self, tmp_path):
+        source = "import time\nt = time.time()\nu = 0\nt = time.time()\n"
+        findings = _findings(tmp_path, source)
+        assert len(findings) == 2
+        assert findings[0].fingerprint != findings[1].fingerprint
+
+    def test_split_by_baseline(self, tmp_path):
+        findings = _findings(tmp_path)
+        fresh, known = split_by_baseline(
+            findings, {findings[0].fingerprint})
+        assert known == [findings[0]]
+        assert findings[0] not in fresh
+
+
+# -- baseline workflow through the CLI --------------------------------------
+
+class TestBaselineCli:
+    def test_write_then_gate(self, tmp_path, capsys):
+        module = tmp_path / "mod.py"
+        module.write_text(DIRTY)
+        baseline = tmp_path / "baseline.json"
+        assert cli_main(["statan", str(module),
+                         "--write-baseline", str(baseline)]) == 1
+        capsys.readouterr()
+        payload = json.loads(baseline.read_text())
+        assert payload["version"] == 1
+        assert {e["code"] for e in payload["findings"]} == {"DET001"}
+
+        # Gated on the baseline the same tree is green...
+        assert cli_main(["statan", str(module),
+                         "--baseline", str(baseline)]) == 0
+        assert "1 baselined" in capsys.readouterr().out
+
+        # ...and a new finding still fails the run.
+        module.write_text(DIRTY + "u = time.monotonic()\n")
+        assert cli_main(["statan", str(module),
+                         "--baseline", str(baseline)]) == 1
+        out = capsys.readouterr().out
+        assert "monotonic" in out
+        assert "1 baselined" in out
+
+    def test_malformed_baseline_exits_2(self, tmp_path, capsys):
+        module = tmp_path / "mod.py"
+        module.write_text("VALUE = 1\n")
+        bad = tmp_path / "bad.json"
+        bad.write_text("{\"nope\": []}")
+        assert cli_main(["statan", str(module),
+                         "--baseline", str(bad)]) == 2
+        assert "baseline" in capsys.readouterr().err
+
+    def test_missing_baseline_exits_2(self, tmp_path, capsys):
+        module = tmp_path / "mod.py"
+        module.write_text("VALUE = 1\n")
+        assert cli_main(["statan", str(module),
+                         "--baseline", str(tmp_path / "none.json")]) == 2
+        capsys.readouterr()
+
+    def test_sarif_format_flag(self, tmp_path, capsys):
+        module = tmp_path / "mod.py"
+        module.write_text(DIRTY)
+        assert cli_main(["statan", str(module),
+                         "--format", "sarif"]) == 1
+        log = json.loads(capsys.readouterr().out)
+        assert log["version"] == "2.1.0"
+        assert log["runs"][0]["results"][0]["ruleId"] == "DET001"
+
+    def test_repo_baseline_matches_shipped_tree(self, tmp_path, capsys):
+        # The committed baseline must exactly cover the tree: gated run
+        # green, and every recorded fingerprint still occurs (no stale
+        # entries hiding future findings).
+        import pathlib
+
+        root = pathlib.Path(__file__).resolve().parent.parent
+        recorded = load_baseline(str(root / "statan-baseline.json"))
+        result = check_paths([str(root / "src/repro")])
+        current = {f.fingerprint for f in result.findings}
+        assert current == recorded
+        capsys.readouterr()
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(pytest.main([__file__, "-q"]))

@@ -11,6 +11,7 @@ Subcommands::
     repro-lb replicate table1/current_load --runs 8 --workers 4
     repro-lb statan src/repro             # simulation lint (see DESIGN.md)
     repro-lb chaos --faults crash,slow --remedies none,full
+    repro-lb controlplane --remedy admission+leveling --millibottleneck
     repro-lb trace run/original_total_request --slowest 3
 """
 
@@ -157,6 +158,83 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
     )
     report = suite.run(workers=args.workers)
     print(report.render())
+    return 0
+
+
+def _cmd_controlplane(args: argparse.Namespace) -> int:
+    from dataclasses import replace
+
+    from repro.cluster.config import ScaleProfile
+    from repro.cluster.runner import ExperimentConfig
+    from repro.cluster.scenarios import fault_specs, time_to_recover
+    from repro.controlplane import get_controlplane
+
+    remedy = get_controlplane(args.remedy)
+    profile = ScaleProfile() if args.full_scale else ScaleProfile.smoke()
+    if args.millibottleneck:
+        profile = replace(profile, tomcat_disk_bandwidth=4e6)
+    config = ExperimentConfig(
+        bundle_key=args.bundle,
+        profile=profile,
+        duration=args.duration,
+        seed=args.seed,
+        trace_lb_values=False,
+        trace_dispatches=False,
+        faults=fault_specs(args.fault, args.duration),
+    )
+    baseline = ExperimentRunner(config).run()
+    remedied = ExperimentRunner(
+        replace(config, controlplane=remedy)).run()
+
+    def _line(tag, result):
+        stats = result.stats()
+        ttr = time_to_recover(result)
+        print("{:<9s} vlrt {:6.3f}%  drops {:5d}  sheds {:5d}  "
+              "goodput {:7.1f}/s  avail {:6.2f}%  ttr {}".format(
+                  tag, 100 * stats.vlrt_fraction,
+                  result.dropped_packets(), result.sheds(),
+                  result.goodput(), 100 * result.availability(),
+                  "-" if ttr is None else
+                  ("never" if ttr == float("inf")
+                   else "{:.2f}s".format(ttr))))
+
+    print("fault={} remedy={} bundle={} duration={}s seed={}".format(
+        args.fault, args.remedy, args.bundle, args.duration, args.seed))
+    _line("baseline", baseline)
+    _line("remedied", remedied)
+
+    system = remedied.system
+    for admission in system.admissions:
+        print("\n{}: admitted={} queued={} shed={}".format(
+            admission.name, admission.admitted, admission.queued,
+            admission.shed))
+        sheds = [r for r in admission.records if r.outcome == "shed"]
+        if sheds:
+            print("  first sheds at: " + ", ".join(
+                "t={:.3f}".format(r.at) for r in sheds[:args.events]))
+    for leveler in system.levelers:
+        print("\n{}: offered={} accepted={} rejected={} evicted={} "
+              "drained={} peak={}".format(
+                  leveler.name, leveler.offered, leveler.accepted,
+                  leveler.rejected, leveler.evicted, leveler.drained,
+                  leveler.peak_length))
+    for bulkhead in system.bulkheads:
+        print("\n{}: read admitted={} shed={}; write admitted={} "
+              "shed={}".format(
+                  bulkhead.name,
+                  bulkhead.admitted["read"], bulkhead.shed["read"],
+                  bulkhead.admitted["write"], bulkhead.shed["write"]))
+    for autoscaler in system.autoscalers:
+        print("\n{}: replicas={} scale_ups={} scale_downs={} "
+              "samples={}".format(
+                  autoscaler.name, autoscaler.replicas,
+                  autoscaler.scale_ups, autoscaler.scale_downs,
+                  len(autoscaler.samples)))
+        for event in autoscaler.events[:args.events]:
+            print("  t={:7.3f} {:<12s} {:<10s} metric={:6.2f} "
+                  "replicas={}".format(
+                      event.at, event.action, event.replica,
+                      event.metric, event.replicas))
     return 0
 
 
@@ -309,8 +387,9 @@ def build_parser() -> argparse.ArgumentParser:
                        help="comma-separated fault scenarios "
                             "(default: crash,slow,packet_loss)")
     chaos.add_argument("--remedies", default="none,full", metavar="KEYS",
-                       help="comma-separated resilience bundles "
-                            "(default: none,full)")
+                       help="comma-separated remedy bundles, resilience "
+                            "or control-plane (e.g. none,full,"
+                            "admission+leveling; default: none,full)")
     chaos.add_argument("--bundles",
                        default="original_total_request,"
                                "current_load_modified",
@@ -324,6 +403,40 @@ def build_parser() -> argparse.ArgumentParser:
                        help="use the paper-scale profile instead of the "
                             "fast smoke profile")
     chaos.set_defaults(func=_cmd_chaos)
+
+    cp = sub.add_parser(
+        "controlplane",
+        help="run one fault cell with and without a control-plane "
+             "remedy and audit the mechanisms",
+        description="Run the same fault twice — bare, then with a "
+                    "control-plane bundle — and report the headline "
+                    "metrics side by side plus each mechanism's "
+                    "internals: admission decisions, leveling queue "
+                    "counters, bulkhead partitions, autoscaler scale "
+                    "events.")
+    cp.add_argument("--remedy", default="admission+leveling",
+                    metavar="KEY",
+                    help="control-plane bundle (default: "
+                         "admission+leveling; see also autoscale, "
+                         "autoscale_fast, admission, leveling, "
+                         "bulkhead)")
+    cp.add_argument("--fault", default="packet_loss", metavar="KEY",
+                    help="fault scenario (default: packet_loss)")
+    cp.add_argument("--bundle", default="original_total_request",
+                    metavar="KEY", help="policy bundle")
+    cp.add_argument("--duration", type=float, default=12.0)
+    cp.add_argument("--seed", type=int, default=42)
+    cp.add_argument("--events", type=int, default=10, metavar="N",
+                    help="show at most N per-mechanism events "
+                         "(default 10)")
+    cp.add_argument("--full-scale", action="store_true",
+                    help="use the paper-scale profile instead of the "
+                         "fast smoke profile")
+    cp.add_argument("--millibottleneck", action="store_true",
+                    help="tighten the app tier's disk bandwidth so "
+                         "flush stalls produce VLRTs (the headline "
+                         "demo cell)")
+    cp.set_defaults(func=_cmd_controlplane)
 
     statan = sub.add_parser(
         "statan",

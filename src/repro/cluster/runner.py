@@ -20,6 +20,8 @@ from repro.cluster.config import ScaleProfile
 from repro.cluster.faults import FaultInjector, FaultSpec
 from repro.cluster.spec import TopologySpec
 from repro.cluster.topology import NTierSystem, build_from_spec, build_system
+from repro.controlplane import ControlPlaneConfig
+from repro.controlplane.install import install_controlplane
 from repro.core.balancer import BalancerConfig
 from repro.core.remedies import RemedyBundle, get_bundle
 from repro.core.states import StateConfig
@@ -68,6 +70,10 @@ class ExperimentConfig:
     faults: tuple["FaultSpec", ...] = ()
     #: Remedy layer configuration; ``None`` is the seed system.
     resilience: Optional[ResilienceConfig] = None
+    #: Control-plane configuration (autoscaling, admission control,
+    #: load leveling, bulkheads); ``None`` — and the all-``None``
+    #: config — is the seed system, event for event.
+    controlplane: Optional["ControlPlaneConfig"] = None
     #: Record a per-request span tree (see :mod:`repro.tracing`).
     #: Off by default: tracing is pure observation (the event schedule
     #: is identical either way) but retains every span in memory.
@@ -191,16 +197,25 @@ class ExperimentResult:
     def hedges_issued(self) -> int:
         return sum(hedger.hedges_issued for hedger in self.system.hedgers)
 
+    def sheds(self) -> int:
+        """Requests answered fast by a control-plane gate (admission,
+        bulkhead or leveling overflow) instead of being served."""
+        return sum(frontend.shed_responses
+                   for frontend in self.system.frontends)
+
     def availability(self) -> float:
         """Successful client-visible outcomes / all client-visible outcomes.
 
         A 503 counts against availability even though the client got a
-        (fast) response; an abandoned request counts against it too.
+        (fast) response; so do control-plane sheds and abandoned
+        requests — admission control trades availability for tail
+        latency, and the report must show both sides of that trade.
         """
         total = self.stats().count + self.population.requests_abandoned
         if total == 0:
             return 1.0
-        return (self.stats().count - self.error_responses()) / total
+        return (self.stats().count - self.error_responses()
+                - self.sheds()) / total
 
     def retry_amplification(self) -> float:
         """System-side attempts per logical client request.
@@ -216,9 +231,10 @@ class ExperimentResult:
                 + self.hedges_issued()) / logical
 
     def goodput(self) -> float:
-        """Useful responses (no 503, under the VLRT threshold) per second."""
+        """Useful responses (no 503, not shed, under the VLRT
+        threshold) per second."""
         stats = self.stats()
-        useful = (stats.count - self.error_responses()
+        useful = (stats.count - self.error_responses() - self.sheds()
                   - stats.vlrt_fraction * stats.count)
         return max(0.0, useful) / self.duration
 
@@ -291,6 +307,9 @@ class ExperimentRunner:
                 use_balancer=config.use_balancer,
                 resilience=config.resilience,
             )
+
+        if config.controlplane is not None and config.controlplane.enabled:
+            install_controlplane(env, system, config.controlplane)
 
         fault_injector = None
         if config.faults:

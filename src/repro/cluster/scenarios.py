@@ -5,11 +5,12 @@ experiment index).  ``Scenario.named(key)`` returns a ready-to-run
 :class:`~repro.cluster.runner.ExperimentConfig`.
 
 :class:`ChaosSuite` is the fault/remedy matrix: it crosses the fault
-zoo (:data:`FAULT_SCENARIOS`) with the remedy bundles
-(:data:`~repro.resilience.RESILIENCE_BUNDLES`) and the Table-I
+zoo (:data:`FAULT_SCENARIOS`) with the remedy bundles — data-plane
+(:data:`~repro.resilience.RESILIENCE_BUNDLES`) and control-plane
+(:data:`~repro.controlplane.CONTROLPLANE_BUNDLES`) — and the Table-I
 policy/mechanism bundles, fans the cells out through
 :mod:`repro.parallel`, and reports availability, %VLRT, retry
-amplification and goodput per cell.
+amplification, goodput, shed rate and time-to-recover per cell.
 """
 
 from __future__ import annotations
@@ -28,9 +29,10 @@ from repro.cluster.faults import (
     SlowFault,
 )
 from repro.cluster.runner import ExperimentConfig
+from repro.controlplane import CONTROLPLANE_BUNDLES, ControlPlaneConfig
 from repro.core.remedies import BUNDLES
 from repro.errors import ConfigurationError
-from repro.resilience import RESILIENCE_BUNDLES, get_resilience
+from repro.resilience import RESILIENCE_BUNDLES, ResilienceConfig
 
 #: Default run length for figure-level scenarios (seconds).
 FIGURE_DURATION = 20.0
@@ -164,6 +166,81 @@ def fault_specs(key: str, duration: float) -> tuple[FaultSpec, ...]:
     return tuple(factory(duration))
 
 
+def fault_horizon(specs: Sequence[FaultSpec]) -> Optional[tuple[float, float]]:
+    """``(start, end)`` of the union of fault windows, if bounded.
+
+    ``None`` when the timeline has no bounded window to recover from:
+    no faults at all, a permanent crash (``duration=None``), or a
+    recurring fault (no ``at``).  Correlated crashes extend the end by
+    their jitter bound, since member crash times are drawn in
+    ``[at, at + jitter]``.
+    """
+    starts: list[float] = []
+    ends: list[float] = []
+    for spec in specs:
+        at = getattr(spec, "at", None)
+        duration = getattr(spec, "duration", None)
+        if at is None or duration is None:
+            return None
+        jitter = getattr(spec, "jitter", 0.0) or 0.0
+        starts.append(at)
+        ends.append(at + duration + jitter)
+    if not starts:
+        return None
+    return min(starts), max(ends)
+
+
+def time_to_recover(result) -> Optional[float]:
+    """Seconds after the last fault window until VLRTs subside.
+
+    Recovery means the per-window VLRT count has returned to its
+    pre-fault baseline (the worst window observed before the first
+    fault started).  Returns ``None`` when undefined — no bounded
+    fault window, or no response samples — and ``inf`` when the run
+    ends without the VLRT rate ever coming back down.
+    """
+    window = fault_horizon(getattr(result.config, "faults", ()) or ())
+    if window is None:
+        return None
+    start, end = window
+    series = result.vlrt_windows()
+    times, values = series.times, series.values
+    if not times:
+        return None
+    baseline = max((v for t, v in zip(times, values) if t < start),
+                   default=0.0)
+    for t, v in zip(times, values):
+        if t >= end and v <= baseline:
+            return max(0.0, t - end)
+    return float("inf")
+
+
+def all_remedy_keys() -> list[str]:
+    """Every valid chaos remedy key: resilience + control-plane bundles."""
+    return sorted(set(RESILIENCE_BUNDLES) | set(CONTROLPLANE_BUNDLES))
+
+
+def resolve_remedy(key: str) -> tuple[Optional[ResilienceConfig],
+                                      Optional[ControlPlaneConfig]]:
+    """Map a remedy key onto ``(resilience, controlplane)`` configs.
+
+    Remedy keys span two registries: the data-plane resilience bundles
+    (:data:`~repro.resilience.RESILIENCE_BUNDLES`) and the control-plane
+    bundles (:data:`~repro.controlplane.CONTROLPLANE_BUNDLES`).  Exactly
+    one side of the returned pair is set for an active remedy; both are
+    ``None`` for the do-nothing key.
+    """
+    resilience = RESILIENCE_BUNDLES.get(key)
+    if resilience is not None:
+        return (resilience if resilience.enabled else None), None
+    controlplane = CONTROLPLANE_BUNDLES.get(key)
+    if controlplane is not None:
+        return None, (controlplane if controlplane.enabled else None)
+    raise ConfigurationError(
+        "unknown remedy {!r}; valid remedy keys: {}".format(
+            key, ", ".join(all_remedy_keys())))
+
+
 @dataclass(frozen=True)
 class ChaosCell:
     """One point of the fault x remedy x policy grid."""
@@ -187,10 +264,17 @@ class ChaosReport:
     results: tuple
 
     def rows(self) -> list[dict]:
-        """One metrics dict per cell, grid keys included."""
+        """One metrics dict per cell, grid keys included.
+
+        ``shed_pct`` is the share of client-visible responses answered
+        fast by a control-plane gate; ``ttr`` is the time-to-recover
+        after the last fault window (``None`` when undefined, ``inf``
+        when the VLRT rate never returns to its pre-fault baseline).
+        """
         rows = []
         for cell, result in zip(self.cells, self.results):
             stats = result.stats()
+            sheds = result.sheds()
             rows.append({
                 "fault": cell.fault_key,
                 "remedy": cell.remedy_key,
@@ -202,24 +286,38 @@ class ChaosReport:
                 "requests": stats.count,
                 "drops": result.dropped_packets(),
                 "errors_503": result.error_responses(),
+                "sheds": sheds,
+                "shed_pct": (100.0 * sheds / stats.count
+                             if stats.count else 0.0),
+                "ttr": time_to_recover(result),
             })
         return rows
 
+    @staticmethod
+    def _render_ttr(ttr: Optional[float]) -> str:
+        if ttr is None:
+            return "-"
+        if ttr == float("inf"):
+            return "never"
+        return "{:.2f}".format(ttr)
+
     def render(self) -> str:
         """The grid as a fixed-width text table."""
-        header = ("{:<15s} {:<15s} {:<24s} {:>6s} {:>7s} {:>5s} "
-                  "{:>8s} {:>7s} {:>6s} {:>5s}").format(
+        header = ("{:<15s} {:<18s} {:<24s} {:>6s} {:>7s} {:>5s} "
+                  "{:>8s} {:>7s} {:>6s} {:>5s} {:>6s} {:>6s}").format(
                       "fault", "remedy", "bundle", "avail%", "vlrt%",
-                      "amp", "goodput", "reqs", "drops", "503s")
+                      "amp", "goodput", "reqs", "drops", "503s",
+                      "shed%", "ttr")
         lines = [header, "-" * len(header)]
         for row in self.rows():
             lines.append(
-                "{:<15s} {:<15s} {:<24s} {:>6.2f} {:>7.3f} {:>5.2f} "
-                "{:>8.1f} {:>7d} {:>6d} {:>5d}".format(
+                "{:<15s} {:<18s} {:<24s} {:>6.2f} {:>7.3f} {:>5.2f} "
+                "{:>8.1f} {:>7d} {:>6d} {:>5d} {:>6.2f} {:>6s}".format(
                     row["fault"], row["remedy"], row["bundle"],
                     100.0 * row["availability"], row["vlrt_pct"],
                     row["amplification"], row["goodput"],
-                    row["requests"], row["drops"], row["errors_503"]))
+                    row["requests"], row["drops"], row["errors_503"],
+                    row["shed_pct"], self._render_ttr(row["ttr"])))
         return "\n".join(lines)
 
 
@@ -253,9 +351,7 @@ class ChaosSuite:
                 raise ConfigurationError(
                     "unknown fault scenario {!r}".format(key))
         for key in self.remedy_keys:
-            if key not in RESILIENCE_BUNDLES:
-                raise ConfigurationError(
-                    "unknown resilience bundle {!r}".format(key))
+            resolve_remedy(key)
         for key in self.bundle_keys:
             if key not in BUNDLES:
                 raise ConfigurationError(
@@ -272,7 +368,7 @@ class ChaosSuite:
         for fault_key in self.fault_keys:
             specs = fault_specs(fault_key, self.duration)
             for remedy_key in self.remedy_keys:
-                resilience = get_resilience(remedy_key)
+                resilience, controlplane = resolve_remedy(remedy_key)
                 for bundle_key in self.bundle_keys:
                     cells.append(ChaosCell(
                         fault_key=fault_key,
@@ -286,8 +382,8 @@ class ChaosSuite:
                             trace_lb_values=False,
                             trace_dispatches=False,
                             faults=specs,
-                            resilience=(resilience if resilience.enabled
-                                        else None),
+                            resilience=resilience,
+                            controlplane=controlplane,
                         )))
         return tuple(cells)
 

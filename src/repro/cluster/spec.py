@@ -27,6 +27,10 @@ from dataclasses import asdict, dataclass, field
 from typing import Optional
 
 from repro.cluster.config import ScaleProfile
+from repro.controlplane.admission import AdmissionConfig
+from repro.controlplane.autoscaler import AutoscalerConfig
+from repro.controlplane.bulkhead import BulkheadConfig
+from repro.controlplane.leveling import LevelingConfig
 from repro.errors import ConfigurationError
 from repro.osmodel.profiles import MillibottleneckProfile
 
@@ -118,6 +122,13 @@ class TierSpec:
     disk_bandwidth: Optional[float] = None
     flush: Optional[FlushSpec] = None
     cpu_source: Optional[str] = None
+    #: Token-bucket admission control (frontend tiers only).
+    admission: Optional[AdmissionConfig] = None
+    #: Read/write capacity partition (frontend or pooled tiers).
+    bulkhead: Optional[BulkheadConfig] = None
+    #: Reactive replica scaling (any tier but the frontend — clients
+    #: bind their sockets when the population is created).
+    autoscaler: Optional[AutoscalerConfig] = None
 
     def __post_init__(self) -> None:
         _require(bool(self.name) and isinstance(self.name, str),
@@ -137,6 +148,28 @@ class TierSpec:
             _require(self.disk_bandwidth > 0,
                      "tier {!r}: disk_bandwidth must be positive".format(
                          self.name))
+        if self.admission is not None:
+            _require(self.service == "frontend",
+                     "tier {!r}: admission control belongs on the "
+                     "frontend tier (the client-facing gate)".format(
+                         self.name))
+        if self.bulkhead is not None:
+            _require(self.service in ("frontend", "pooled"),
+                     "tier {!r}: bulkheads partition frontend worker "
+                     "slots or pooled connections, not {!r} tiers".format(
+                         self.name, self.service))
+        if self.autoscaler is not None:
+            _require(self.service != "frontend",
+                     "tier {!r}: frontend tiers cannot autoscale — "
+                     "clients bind their sockets at startup".format(
+                         self.name))
+            _require(self.autoscaler.min_replicas <= self.replicas
+                     <= self.autoscaler.max_replicas,
+                     "tier {!r}: replicas={} outside the autoscaler "
+                     "range [{}, {}]".format(
+                         self.name, self.replicas,
+                         self.autoscaler.min_replicas,
+                         self.autoscaler.max_replicas))
 
     @property
     def effective_cpu_source(self) -> str:
@@ -145,8 +178,15 @@ class TierSpec:
     @classmethod
     def from_dict(cls, data: dict) -> "TierSpec":
         data = dict(data) if isinstance(data, dict) else data
-        if isinstance(data, dict) and isinstance(data.get("flush"), dict):
-            data["flush"] = _from_mapping(FlushSpec, data["flush"], "flush")
+        if isinstance(data, dict):
+            if isinstance(data.get("flush"), dict):
+                data["flush"] = _from_mapping(FlushSpec, data["flush"],
+                                              "flush")
+            for key, config_cls in (("admission", AdmissionConfig),
+                                    ("bulkhead", BulkheadConfig),
+                                    ("autoscaler", AutoscalerConfig)):
+                if isinstance(data.get(key), dict):
+                    data[key] = _from_mapping(config_cls, data[key], key)
         return _from_mapping(cls, data, "tier")
 
 
@@ -174,6 +214,11 @@ class BoundarySpec:
     bundle: Optional[str] = None
     pool_size: Optional[int] = None
     resilience: Optional[str] = None
+    #: Bounded load-leveling FIFO in front of this boundary's
+    #: dispatchers (frontends integrate it natively; deeper boundaries
+    #: get a request/reply wrapper).  Not available on inline
+    #: boundaries — there is no dispatcher to level.
+    leveling: Optional[LevelingConfig] = None
 
     def __post_init__(self) -> None:
         _require(self.mode in BOUNDARY_MODES,
@@ -201,9 +246,17 @@ class BoundarySpec:
             _require(self.resilience is None,
                      "boundary mode {!r} takes no resilience bundle".format(
                          self.mode))
+        if self.mode == "inline":
+            _require(self.leveling is None,
+                     "inline boundaries take no leveling queue — there "
+                     "is no dispatcher to level")
 
     @classmethod
     def from_dict(cls, data: dict) -> "BoundarySpec":
+        data = dict(data) if isinstance(data, dict) else data
+        if isinstance(data, dict) and isinstance(data.get("leveling"), dict):
+            data["leveling"] = _from_mapping(LevelingConfig,
+                                             data["leveling"], "leveling")
         return _from_mapping(cls, data, "boundary")
 
 
@@ -276,6 +329,10 @@ class TopologySpec:
                          "{}: inline cannot fan out over {} replicas — "
                          "use a balanced or direct boundary".format(
                              where, downstream.replicas))
+                _require(downstream.autoscaler is None,
+                         "{}: an inline downstream cannot autoscale — "
+                         "inline callers bind to the single replica".format(
+                             where))
 
     # -- (de)serialisation -------------------------------------------------
     @classmethod
@@ -323,13 +380,12 @@ class TopologySpec:
     def to_dict(self) -> dict:
         data = asdict(self)
         for tier in data["tiers"]:
-            if tier["flush"] is None:
-                del tier["flush"]
-            for key in ("disk_bandwidth", "cpu_source"):
+            for key in ("flush", "disk_bandwidth", "cpu_source",
+                        "admission", "bulkhead", "autoscaler"):
                 if tier[key] is None:
                     del tier[key]
         for boundary in data["boundaries"]:
-            for key in ("bundle", "pool_size", "resilience"):
+            for key in ("bundle", "pool_size", "resilience", "leveling"):
                 if boundary[key] is None:
                     del boundary[key]
         return data
@@ -368,9 +424,20 @@ class TopologySpec:
             flush = (" flush(interval={}, threshold={:.0f})".format(
                 tier.flush.interval, tier.flush.threshold_bytes)
                 if tier.flush else "")
-            lines.append("  [{}] {} x{} ({}, capacity={}){}".format(
+            extras = ""
+            if tier.admission is not None:
+                extras += " admission({}/s)".format(
+                    tier.admission.refill_rate)
+            if tier.bulkhead is not None:
+                extras += " bulkhead(r={}, w={})".format(
+                    tier.bulkhead.read_slots, tier.bulkhead.write_slots)
+            if tier.autoscaler is not None:
+                extras += " autoscale[{}..{}]".format(
+                    tier.autoscaler.min_replicas,
+                    tier.autoscaler.max_replicas)
+            lines.append("  [{}] {} x{} ({}, capacity={}){}{}".format(
                 depth, tier.name, tier.replicas, tier.service,
-                tier.capacity, flush))
+                tier.capacity, flush, extras))
             if depth < len(self.boundaries):
                 boundary = self.boundaries[depth]
                 detail = boundary.mode
@@ -378,6 +445,9 @@ class TopologySpec:
                     detail += " bundle=" + boundary.bundle
                 if boundary.resilience:
                     detail += " resilience=" + boundary.resilience
+                if boundary.leveling:
+                    detail += " leveling(cap={})".format(
+                        boundary.leveling.capacity)
                 lines.append("       | " + detail)
         return "\n".join(lines)
 

@@ -40,6 +40,10 @@ from repro.tiers.base import (
 )
 
 if TYPE_CHECKING:  # pragma: no cover
+    from repro.controlplane.admission import TokenBucketAdmission
+    from repro.controlplane.autoscaler import ReactiveAutoscaler
+    from repro.controlplane.bulkhead import Bulkhead
+    from repro.controlplane.leveling import LevelingQueue
     from repro.resilience import ResilienceConfig
     from repro.resilience.hedge import HedgingDispatcher
     from repro.resilience.probes import HealthProber
@@ -75,6 +79,21 @@ class NTierSystem:
     hedgers: list["HedgingDispatcher"] = field(default_factory=list)
     #: The declarative spec the system was built from (when it was).
     spec: Optional[TopologySpec] = None
+    #: Control-plane attachments (empty unless configured).
+    autoscalers: list["ReactiveAutoscaler"] = field(default_factory=list)
+    admissions: list["TokenBucketAdmission"] = field(default_factory=list)
+    levelers: list["LevelingQueue"] = field(default_factory=list)
+    bulkheads: list["Bulkhead"] = field(default_factory=list)
+    #: Replicas removed by scale-down, per tier — kept for accounting
+    #: and for in-flight requests that still hold references.
+    retired: dict[str, list[TierServer]] = field(default_factory=dict)
+    #: Dispatchers per boundary depth (boundary *d* feeds tier *d*+1);
+    #: replicas added to tier *d*+1 join every dispatcher at depth *d*.
+    dispatchers_by_depth: dict[int, list] = field(default_factory=dict)
+    #: Per-tier replica builders captured by :func:`build_from_spec`;
+    #: resolved through :func:`replica_factory_for`.
+    _replica_factories: dict[str, Callable[[int], TierServer]] = field(
+        default_factory=dict)
 
     # -- generic addressing ------------------------------------------------
     @property
@@ -191,35 +210,186 @@ def build_from_spec(
                     depth, config, state_config, rng,
                     policy_factory, mechanism_factory, resilience,
                     default_bundle))
+            _wire_frontend_controlplane(env, system, tier, boundary,
+                                        servers)
         elif tier.service == "worker":
+            make_replica = _worker_factory(
+                env, system, spec, depth, config, state_config, rng,
+                policy_factory, mechanism_factory, resilience,
+                default_bundle)
             for index in range(tier.replicas):
-                host = _make_host(env, tier, index)
-                if boundary is None:
-                    tier_downstream = None
-                elif boundary.mode == "inline":
-                    tier_downstream = InlineDownstream(downstream[0])
-                else:
-                    tier_downstream = DispatchDownstream(_make_dispatcher(
-                        env, system, host.name, boundary, downstream,
-                        depth, config, state_config, rng,
-                        policy_factory, mechanism_factory, resilience,
-                        default_bundle))
-                servers.append(WorkerTier(
-                    env, host.name, host,
-                    max_threads=tier.capacity,
-                    downstream=tier_downstream,
-                    role=tier.name,
-                    cpu_source=tier.effective_cpu_source))
+                make_replica(index)
         else:  # pooled
+            make_replica = _pooled_factory(env, system, spec, depth)
             for index in range(tier.replicas):
-                host = _make_host(env, tier, index)
-                servers.append(PooledTier(
-                    env, host.name, host,
-                    max_connections=tier.capacity,
-                    role=tier.name,
-                    cpu_source=tier.effective_cpu_source))
+                make_replica(index)
         downstream = servers
+    # Autoscalers last: they resolve their tier's replica factory
+    # eagerly, and every factory must exist by now.
+    for tier in spec.tiers:
+        if tier.autoscaler is not None:
+            from repro.controlplane.autoscaler import ReactiveAutoscaler
+
+            system.autoscalers.append(ReactiveAutoscaler(
+                env, system, tier.name, tier.autoscaler))
     return system
+
+
+def _worker_factory(env, system, spec, depth, config, state_config, rng,
+                    policy_factory, mechanism_factory, resilience,
+                    default_bundle):
+    """A closure that builds one more replica of the worker tier at
+    ``depth``, appends it to the system and joins it (cold) to every
+    dispatcher feeding the tier.
+
+    Used both for initial construction (when no upstream dispatchers
+    exist yet — the builder runs back to front) and by the autoscaler
+    at runtime (when they do).  Registered in
+    ``system._replica_factories`` for :func:`replica_factory_for`.
+    """
+    tier = spec.tiers[depth]
+    boundary = (spec.boundaries[depth]
+                if depth < len(spec.boundaries) else None)
+    downstream = (system.tiers[spec.tiers[depth + 1].name]
+                  if depth + 1 < len(spec.tiers) else None)
+
+    def make_replica(index: int) -> TierServer:
+        host = _make_host(env, tier, index)
+        if boundary is None:
+            tier_downstream = None
+        elif boundary.mode == "inline":
+            tier_downstream = InlineDownstream(downstream[0])
+        else:
+            tier_downstream = DispatchDownstream(_make_dispatcher(
+                env, system, host.name, boundary, downstream,
+                depth, config, state_config, rng,
+                policy_factory, mechanism_factory, resilience,
+                default_bundle))
+        server = WorkerTier(
+            env, host.name, host,
+            max_threads=tier.capacity,
+            downstream=tier_downstream,
+            role=tier.name,
+            cpu_source=tier.effective_cpu_source)
+        _join_tier(system, tier.name, depth, server)
+        return server
+
+    system._replica_factories[tier.name] = make_replica
+    return make_replica
+
+
+def _pooled_factory(env, system, spec, depth):
+    """Replica factory for a pooled tier (see :func:`_worker_factory`)."""
+    tier = spec.tiers[depth]
+
+    def make_replica(index: int) -> TierServer:
+        host = _make_host(env, tier, index)
+        server = PooledTier(
+            env, host.name, host,
+            max_connections=tier.capacity,
+            role=tier.name,
+            cpu_source=tier.effective_cpu_source)
+        if tier.bulkhead is not None:
+            from repro.controlplane.bulkhead import Bulkhead
+
+            bulkhead = Bulkhead(env, tier.bulkhead,
+                                name=server.name + ".bulkhead")
+            server.install_bulkhead(bulkhead)
+            system.bulkheads.append(bulkhead)
+        _join_tier(system, tier.name, depth, server)
+        return server
+
+    system._replica_factories[tier.name] = make_replica
+    return make_replica
+
+
+def _join_tier(system: NTierSystem, tier_name: str, depth: int,
+               server: TierServer) -> None:
+    """Append ``server`` to its tier and join every feeding dispatcher.
+
+    During initial construction the dispatcher registry at ``depth - 1``
+    is still empty (tiers build back to front), so this is a plain
+    append; at runtime a scaled-up replica joins every upstream
+    balancer cold (``preconnect=False`` — no established connections).
+    """
+    system.tiers[tier_name].append(server)
+    for dispatcher in system.dispatchers_by_depth.get(depth - 1, ()):
+        if isinstance(dispatcher, LoadBalancer):
+            dispatcher.add_member(server, preconnect=False)
+        else:
+            dispatcher.add_backend(server)
+
+
+def _wire_frontend_controlplane(env, system, tier, boundary,
+                                servers) -> None:
+    """Attach spec-declared control-plane mechanisms to a frontend tier."""
+    if (tier.admission is None and tier.bulkhead is None
+            and (boundary is None or boundary.leveling is None)):
+        return
+    from repro.controlplane.admission import TokenBucketAdmission
+    from repro.controlplane.bulkhead import Bulkhead
+
+    for server in servers:
+        if tier.admission is not None:
+            controller = TokenBucketAdmission(
+                env, tier.admission, name=server.name + ".admission")
+            server.install_admission(controller)
+            system.admissions.append(controller)
+        if tier.bulkhead is not None:
+            bulkhead = Bulkhead(env, tier.bulkhead,
+                                name=server.name + ".bulkhead")
+            server.install_bulkhead(bulkhead)
+            system.bulkheads.append(bulkhead)
+        if boundary is not None and boundary.leveling is not None:
+            system.levelers.append(
+                server.install_leveling(boundary.leveling))
+
+
+def replica_factory_for(system: NTierSystem,
+                        tier_name: str) -> Callable[[int], TierServer]:
+    """The builder for one more replica of ``tier_name``.
+
+    Only spec-built worker and pooled tiers have one; frontends cannot
+    scale at runtime (clients bind their sockets when the population is
+    created).
+    """
+    if system.spec is None:
+        raise ConfigurationError(
+            "replica factories exist only on spec-built systems")
+    try:
+        return system._replica_factories[tier_name]
+    except KeyError:
+        raise ConfigurationError(
+            "tier {!r} has no replica factory (frontend tiers cannot "
+            "be scaled at runtime)".format(tier_name)) from None
+
+
+def retire_replica(system: NTierSystem, tier_name: str,
+                   server: TierServer) -> None:
+    """Remove ``server`` from rotation without losing its work.
+
+    The replica leaves its tier list and every upstream dispatcher, but
+    moves to ``system.retired`` — in-flight requests complete through
+    the references their dispatch already holds, and the server's
+    counters stay available for conservation accounting.
+    """
+    servers = system.tiers[tier_name]
+    if server not in servers:
+        raise ConfigurationError(
+            "{} is not a live replica of {}".format(server.name, tier_name))
+    if len(servers) == 1:
+        raise ConfigurationError(
+            "cannot retire the last replica of " + tier_name)
+    servers.remove(server)
+    system.retired.setdefault(tier_name, []).append(server)
+    depth = system.tier_names.index(tier_name)
+    for dispatcher in system.dispatchers_by_depth.get(depth - 1, ()):
+        if isinstance(dispatcher, LoadBalancer):
+            if any(member.name == server.name
+                   for member in dispatcher.members):
+                dispatcher.retire_member(server.name)
+        elif server in dispatcher.backends:
+            dispatcher.remove_backend(server)
 
 
 def _make_host(env: "Environment", tier: TierSpec, index: int) -> Host:
@@ -241,7 +411,9 @@ def _make_dispatcher(env, system, owner_name, boundary, downstream, depth,
         dispatcher = DirectDispatcher(env, list(downstream),
                                       link_latency=config.link_latency)
         system.direct_dispatchers.append(dispatcher)
-        return dispatcher
+        system.dispatchers_by_depth.setdefault(depth, []).append(dispatcher)
+        return _maybe_level(env, system, owner_name, boundary, depth,
+                            dispatcher)
     make_policy, make_mechanism = _boundary_factories(
         boundary, depth, policy_factory, mechanism_factory, default_bundle)
     boundary_config = (replace(config, pool_size=boundary.pool_size)
@@ -255,9 +427,31 @@ def _make_dispatcher(env, system, owner_name, boundary, downstream, depth,
         state_config=state_config,
     )
     system.balancers.append(balancer)
-    return _wire_resilience(
+    # Membership churn applies to the balancer itself, never a wrapper.
+    system.dispatchers_by_depth.setdefault(depth, []).append(balancer)
+    dispatcher = _wire_resilience(
         env, system, balancer,
         _boundary_resilience(boundary, depth, resilience), rng)
+    return _maybe_level(env, system, owner_name, boundary, depth,
+                        dispatcher)
+
+
+def _maybe_level(env, system, owner_name, boundary, depth, dispatcher):
+    """Wrap a mid-tier dispatcher in its boundary's leveling queue.
+
+    The frontend boundary (depth 0) integrates leveling natively inside
+    :class:`~repro.tiers.base.FrontendTier` — the worker answers the
+    client while drains dispatch — so only deeper boundaries take the
+    request/reply wrapper.
+    """
+    if depth == 0 or boundary.leveling is None:
+        return dispatcher
+    from repro.controlplane.leveling import LevelingDispatcher
+
+    leveled = LevelingDispatcher(env, dispatcher, boundary.leveling,
+                                 name=owner_name + ".leveling")
+    system.levelers.append(leveled.queue)
+    return leveled
 
 
 def _boundary_factories(boundary, depth, policy_factory, mechanism_factory,

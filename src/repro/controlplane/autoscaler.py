@@ -1,0 +1,201 @@
+"""Reactive autoscaling of one tier, with realistic provisioning lag.
+
+The control loop the paper argues is structurally too slow: sample a
+per-tier load signal every ``interval`` seconds, compare against
+watermarks, and add or remove replicas.  A scale-up is not instant —
+``warmup`` models image boot plus service start, and the new replica
+joins every upstream balancer **cold** (no established AJP
+connections, ``preconnect=False``), so its first requests pay the
+connection-handshake probe like a real freshly-started backend.
+
+A 50–200 ms millibottleneck is invisible at any plausible ``interval``
+(the stall is over before the next sample) and irrelevant to capacity
+(average utilisation stays modest), which is exactly what the chaos
+cells demonstrate: the autoscaler reacts to *sustained* load, never to
+the sub-second transients that cause VLRTs.
+
+Zero-cost when absent: the sampling process exists only when a tier
+configures an autoscaler.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Optional
+
+from repro.errors import ConfigurationError
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.cluster.topology import NTierSystem
+    from repro.sim.core import Environment
+
+#: Load signals the control loop can sample.
+AUTOSCALER_METRICS = ("queue", "cpu")
+
+
+def _require(condition: bool, message: str) -> None:
+    if not condition:
+        raise ConfigurationError(message)
+
+
+@dataclass(frozen=True)
+class AutoscalerConfig:
+    """Reactive control-loop knobs (frozen, JSON-roundtrippable)."""
+
+    #: Sampling period of the control loop — its reaction-time floor.
+    interval: float = 1.0
+    #: Provisioning + boot lag before a new replica can serve.
+    warmup: float = 2.0
+    #: Scale up when the mean per-replica signal exceeds this.
+    high_watermark: float = 6.0
+    #: Scale down when the mean per-replica signal falls below this.
+    low_watermark: float = 0.5
+    min_replicas: int = 1
+    max_replicas: int = 8
+    #: Minimum time between scaling decisions.
+    cooldown: float = 2.0
+    #: ``queue`` samples mean in-server requests per replica; ``cpu``
+    #: samples mean host utilisation over the last interval (0..1).
+    metric: str = "queue"
+
+    def __post_init__(self) -> None:
+        _require(self.interval > 0, "autoscaler interval must be positive")
+        _require(self.warmup >= 0, "autoscaler warmup must be >= 0")
+        _require(self.cooldown >= 0, "autoscaler cooldown must be >= 0")
+        _require(self.min_replicas >= 1,
+                 "autoscaler min_replicas must be >= 1")
+        _require(self.max_replicas >= self.min_replicas,
+                 "autoscaler max_replicas must be >= min_replicas")
+        _require(self.low_watermark >= 0,
+                 "autoscaler low_watermark must be >= 0")
+        _require(self.high_watermark > self.low_watermark,
+                 "autoscaler high_watermark must exceed low_watermark")
+        _require(self.metric in AUTOSCALER_METRICS,
+                 "unknown autoscaler metric {!r} (one of {})".format(
+                     self.metric, ", ".join(AUTOSCALER_METRICS)))
+
+
+@dataclass(frozen=True)
+class ScaleEvent:
+    """One control-loop action, for post-run auditing."""
+
+    at: float
+    action: str  # "scale_up" | "up_complete" | "scale_down"
+    replica: str
+    metric: float
+    replicas: int
+
+
+class ReactiveAutoscaler:
+    """Samples one tier's load signal and adds/removes replicas."""
+
+    def __init__(self, env: "Environment", system: "NTierSystem",
+                 tier_name: str, config: AutoscalerConfig,
+                 name: Optional[str] = None) -> None:
+        from repro.cluster.topology import replica_factory_for
+
+        self.env = env
+        self.system = system
+        self.tier_name = tier_name
+        self.config = config
+        self.name = name or tier_name + ".autoscaler"
+        # Resolved eagerly so misconfiguration fails at build time, not
+        # mid-run inside the control loop.
+        self._factory = replica_factory_for(system, tier_name)
+        #: Replicas ever created (live + warming + retired) — keeps
+        #: host/replica names unique across churn.
+        self._created = len(system.tiers[tier_name])
+        self._warming = 0
+        self._last_action = -float("inf")
+        self.events: list[ScaleEvent] = []
+        self.samples: list[tuple[float, float]] = []
+        self._process = env.process(self._run())
+
+    # -- observability -------------------------------------------------------
+    @property
+    def replicas(self) -> int:
+        """Live replicas of the controlled tier."""
+        return len(self.system.tiers[self.tier_name])
+
+    @property
+    def warming(self) -> int:
+        """Replicas provisioned but still inside their warm-up lag."""
+        return self._warming
+
+    @property
+    def scale_ups(self) -> int:
+        """Completed scale-ups (the replica finished warming)."""
+        return sum(1 for event in self.events
+                   if event.action == "up_complete")
+
+    @property
+    def scale_downs(self) -> int:
+        return sum(1 for event in self.events
+                   if event.action == "scale_down")
+
+    # -- control loop --------------------------------------------------------
+    def _metric(self) -> float:
+        servers = self.system.tiers[self.tier_name]
+        if not servers:
+            return 0.0
+        if self.config.metric == "queue":
+            total = sum(server.in_server for server in servers)
+            return total / len(servers)
+        now = self.env.now
+        start = max(0.0, now - self.config.interval)
+        if now <= start:
+            return 0.0
+        total = sum(server.host.cpu.utilization(start, now)
+                    for server in servers)
+        return total / len(servers)
+
+    def _run(self):
+        config = self.config
+        # Not a retry loop: a control loop sampling once per interval,
+        # bounded by the experiment horizon like every sim process.
+        while True:  # statan: ignore[RETRY001] -- periodic control loop, no failed operation being retried
+            yield self.env.timeout(config.interval)
+            value = self._metric()
+            self.samples.append((self.env.now, value))
+            now = self.env.now
+            if now - self._last_action < config.cooldown:
+                continue
+            planned = self.replicas + self._warming
+            if (value > config.high_watermark
+                    and planned < config.max_replicas):
+                self._last_action = now
+                self._warming += 1
+                self.events.append(ScaleEvent(
+                    at=now, action="scale_up", replica="(warming)",
+                    metric=value, replicas=self.replicas))
+                self.env.process(self._provision())
+            elif (value < config.low_watermark
+                  and self.replicas > config.min_replicas
+                  and self._warming == 0):
+                self._last_action = now
+                self._scale_down(value)
+
+    def _provision(self):
+        """Warm-up lag, then build the replica and join it cold."""
+        yield self.env.timeout(self.config.warmup)
+        index = self._created
+        self._created += 1
+        self._warming -= 1
+        server = self._factory(index)
+        self.events.append(ScaleEvent(
+            at=self.env.now, action="up_complete", replica=server.name,
+            metric=self._metric(), replicas=self.replicas))
+
+    def _scale_down(self, value: float) -> None:
+        from repro.cluster.topology import retire_replica
+
+        servers = self.system.tiers[self.tier_name]
+        server = servers[-1]
+        retire_replica(self.system, self.tier_name, server)
+        self.events.append(ScaleEvent(
+            at=self.env.now, action="scale_down", replica=server.name,
+            metric=value, replicas=self.replicas))
+
+    def __repr__(self) -> str:
+        return "<ReactiveAutoscaler {} replicas={} warming={}>".format(
+            self.name, self.replicas, self._warming)

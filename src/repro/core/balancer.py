@@ -13,7 +13,7 @@ used by the paper's §III-B single-node experiments.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, Optional, Sequence
+from typing import TYPE_CHECKING, Callable, Optional, Sequence
 
 import numpy as np
 
@@ -78,6 +78,8 @@ class LoadBalancer:
         self.mechanism = mechanism
         self.config = config or BalancerConfig()
         self._rng = rng
+        # Kept for members added after construction (autoscaling).
+        self._state_config = state_config
         self.members = [
             BalancerMember(
                 env, server, index,
@@ -102,8 +104,14 @@ class LoadBalancer:
             if self.config.trace_dispatches else None)
         self.dispatches = 0
         self.endpoint_failures = 0
+        #: Members removed by scale-down; kept for accounting (their
+        #: dispatch counts stay part of the balancer's totals).
+        self.retired_members: list[BalancerMember] = []
+        #: Monotonic member index — unique across add/retire churn.
+        self._member_serial = len(self.members)
         #: Whether members carry circuit breakers (see install_breakers).
         self._breaker_gate = False
+        self._breaker_factory: Optional[Callable[[], object]] = None
         self.breaker_rejections = 0
         #: Fast-path flag: while every member is Available, ``_pick``
         #: skips the per-member eligibility scan entirely — the O(N)
@@ -119,8 +127,63 @@ class LoadBalancer:
         self._all_available = all(
             m.state is MemberState.AVAILABLE for m in self.members)
 
+    # -- membership (autoscaling) ---------------------------------------------
+    def add_member(self, server, preconnect: bool = False) -> BalancerMember:
+        """Join ``server`` to the rotation, cold by default.
+
+        ``preconnect=False`` models a freshly provisioned backend: no
+        established AJP connections, so its first requests pay the
+        connection handshake (which needs the server responsive) like a
+        real just-booted replica.  When the balancer is breaker-gated,
+        the new member gets its own breaker from the factory recorded
+        by :meth:`install_breakers`.
+        """
+        member = BalancerMember(
+            self.env, server, self._member_serial,
+            pool_size=self.config.pool_size,
+            state_config=self._state_config,
+            link=Link(self.env, self.config.link_latency,
+                      name="{}->{}".format(self.name, server.name)),
+            trace_lb_values=self.config.trace_lb_values,
+            preconnect=preconnect,
+        )
+        self._member_serial += 1
+        member.on_state_change = self._member_state_changed
+        if self._breaker_gate:
+            if self._breaker_factory is None:
+                raise ConfigurationError(
+                    "{} is breaker-gated but has no breaker factory; "
+                    "pass factory= to install_breakers".format(self.name))
+            member.breaker = self._breaker_factory()
+        self.members.append(member)
+        self._member_state_changed(member)
+        return member
+
+    def retire_member(self, name: str) -> BalancerMember:
+        """Remove the member for backend ``name`` from the rotation.
+
+        The member moves to :attr:`retired_members` so completed-work
+        accounting (and in-flight requests holding a reference) stay
+        intact; it simply stops being a dispatch candidate.
+        """
+        for position, member in enumerate(self.members):
+            if member.name == name:
+                break
+        else:
+            raise ConfigurationError(
+                "{} has no member named {}".format(self.name, name))
+        if len(self.members) == 1:
+            raise ConfigurationError(
+                "cannot retire the last member of " + self.name)
+        member = self.members.pop(position)
+        self.retired_members.append(member)
+        self._member_state_changed(member)
+        return member
+
     # -- resilience wiring ----------------------------------------------------
-    def install_breakers(self, breakers: Sequence) -> None:
+    def install_breakers(self, breakers: Sequence,
+                         factory: Optional[Callable[[], object]] = None
+                         ) -> None:
         """Attach one circuit breaker per member and gate dispatch on them.
 
         ``breakers`` must align with :attr:`members`.  The mechanism is
@@ -140,6 +203,7 @@ class LoadBalancer:
             member.breaker = breaker
         self.mechanism = BreakerGuardedMechanism(self.mechanism)
         self._breaker_gate = True
+        self._breaker_factory = factory
 
     # -- candidate selection --------------------------------------------------
     def _pick(self) -> Optional[BalancerMember]:
@@ -293,9 +357,10 @@ class LoadBalancer:
         if trace is None:
             raise ConfigurationError(
                 "dispatch tracing disabled on " + self.name)
-        counts: dict[str, int] = {m.name: 0 for m in self.members}
+        counts: dict[str, int] = {
+            m.name: 0 for m in self.members + self.retired_members}
         for _, backend in trace.between(start, end):
-            counts[backend] += 1
+            counts[backend] = counts.get(backend, 0) + 1
         return counts
 
     def distribution_windows(self, window: float = PAPER_WINDOW,
@@ -306,7 +371,7 @@ class LoadBalancer:
             raise ConfigurationError(
                 "dispatch tracing disabled on " + self.name)
         counters = {m.name: WindowedCounter(window, m.name)
-                    for m in self.members}
+                    for m in self.members + self.retired_members}
         for time, backend in self.dispatch_trace:
             counters[backend].record(time)
         return {name: counter.series(until=until)
@@ -345,9 +410,26 @@ class DirectDispatcher:
                 "direct dispatcher needs at least one backend")
         self.env = env
         self.backends = backends
+        self._link_latency = link_latency
         self.links = [Link(env, link_latency, name="direct->" + server.name)
                       for server in backends]
         self.dispatches = 0
+
+    def add_backend(self, server) -> None:
+        """Join ``server`` to the static round-robin rotation."""
+        self.backends.append(server)
+        self.links.append(Link(self.env, self._link_latency,
+                               name="direct->" + server.name))
+
+    def remove_backend(self, server) -> None:
+        """Drop ``server`` from the rotation (in-flight work completes
+        through references already held)."""
+        if len(self.backends) == 1:
+            raise ConfigurationError(
+                "cannot remove the last backend of a direct dispatcher")
+        position = self.backends.index(server)
+        self.backends.pop(position)
+        self.links.pop(position)
 
     @property
     def backend(self) -> "TomcatServer":

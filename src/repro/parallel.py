@@ -78,6 +78,12 @@ class ExperimentSummary:
     hedges: int = 0
     hedge_wins: int = 0
     fault_count: int = 0
+    #: Requests answered fast by a control-plane gate (admission,
+    #: bulkhead or leveling overflow) instead of being served.
+    sheds_count: int = 0
+    #: VLRT count per sample window (time-to-recover input); ``None``
+    #: on summaries pickled by older code.
+    vlrt_series: Optional[TimeSeries] = None
 
     # -- ExperimentResult reporting surface (duck-typed) -----------------
     def stats(self) -> ResponseTimeStats:
@@ -102,12 +108,23 @@ class ExperimentSummary:
     def hedges_issued(self) -> int:
         return self.hedges
 
+    def sheds(self) -> int:
+        """Requests answered fast by a control-plane gate."""
+        return self.sheds_count
+
+    def vlrt_windows(self) -> TimeSeries:
+        """VLRT count per sample window (empty for legacy summaries)."""
+        if self.vlrt_series is None:
+            return TimeSeries.from_arrays([], [], name="vlrt")
+        return self.vlrt_series
+
     def availability(self) -> float:
         """Successful client-visible outcomes / all client-visible outcomes."""
         total = self.response_stats.count + self.abandoned
         if total == 0:
             return 1.0
-        return (self.response_stats.count - self.error_responses_count) / total
+        return (self.response_stats.count - self.error_responses_count
+                - self.sheds_count) / total
 
     def retry_amplification(self) -> float:
         """System-side attempts per logical client request."""
@@ -117,9 +134,11 @@ class ExperimentSummary:
         return (self.attempts + self.hedges) / logical
 
     def goodput(self) -> float:
-        """Useful responses (no 503, under the VLRT threshold) per second."""
+        """Useful responses (no 503, not shed, under the VLRT
+        threshold) per second."""
         stats = self.response_stats
         useful = (stats.count - self.error_responses_count
+                  - self.sheds_count
                   - stats.vlrt_fraction * stats.count)
         return max(0.0, useful) / self.duration
 
@@ -161,6 +180,8 @@ def summarize(result: ExperimentResult) -> ExperimentSummary:
         hedges=result.hedges_issued(),
         hedge_wins=sum(h.hedge_wins for h in result.system.hedgers),
         fault_count=fault_count,
+        sheds_count=result.sheds(),
+        vlrt_series=result.vlrt_windows(),
     )
 
 

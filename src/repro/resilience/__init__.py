@@ -91,10 +91,19 @@ RESILIENCE_BUNDLES: dict[str, ResilienceConfig] = {
 
 
 def get_resilience(key: str) -> ResilienceConfig:
-    """Look up a named remedy bundle."""
+    """Look up a named remedy bundle.
+
+    The error message lists every valid chaos remedy key — including
+    the control-plane bundles, which live in their own registry
+    (:data:`repro.controlplane.CONTROLPLANE_BUNDLES`) and are resolved
+    by :func:`repro.cluster.scenarios.resolve_remedy`.
+    """
     try:
         return RESILIENCE_BUNDLES[key]
     except KeyError:
+        from repro.controlplane import CONTROLPLANE_BUNDLES
+
+        keys = sorted(set(RESILIENCE_BUNDLES) | set(CONTROLPLANE_BUNDLES))
         raise ConfigurationError(
-            "unknown resilience bundle {!r} (have: {})".format(
-                key, ", ".join(sorted(RESILIENCE_BUNDLES)))) from None
+            "unknown resilience bundle {!r}; valid remedy keys: {}".format(
+                key, ", ".join(keys))) from None

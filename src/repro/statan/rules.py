@@ -26,6 +26,9 @@ perf-hot-path  PERF00x direct ``heapq`` use outside the calendar-queue
                        module, and per-event ``Event``/``Timeout``/``Span``
                        construction inside loops in ``sim``/``tracing``
                        hot paths that bypass the free-list/factory APIs
+queue-bound    QUEUE001 unbounded ``Store``/``deque``/``Queue``
+                       construction in ``tiers/``/``controlplane/``
+                       request-path code (no capacity/maxlen/maxsize)
 ============== ======= ========================================================
 
 Every check here exists because its bug class silently corrupts a
@@ -46,7 +49,7 @@ __all__ = [
     "DeterminismRule", "ProcessProtocolRule", "ResourceSafetyRule",
     "FloatTimeComparisonRule", "MissingSlotsRule", "BadDelayRule",
     "UnboundedRetryRule", "SeedThreadingRule", "PerfHotPathRule",
-    "default_rules", "RULES",
+    "QueueBoundRule", "default_rules", "RULES",
 ]
 
 
@@ -839,6 +842,76 @@ class PerfHotPathRule(Rule):
                        "of the loop".format(short))
 
 
+# -- queue bounds ---------------------------------------------------------
+
+#: Queue constructors and the keyword that bounds each.
+_QUEUE_BOUND_KWARG = {
+    "Store": "capacity",
+    "deque": "maxlen",
+    "Queue": "maxsize",
+    "LifoQueue": "maxsize",
+    "PriorityQueue": "maxsize",
+}
+
+
+class QueueBoundRule(Rule):
+    """Request-path queues in tier and control-plane code must be bounded.
+
+    The paper's causal chain starts where a queue absorbs a stall
+    without limit: an unbounded buffer between tiers hides a
+    millibottleneck until it surfaces downstream as an accept-queue
+    overflow, a packet drop, and a retransmission-driven VLRT.  The
+    control plane's whole point is bounded buffering (leveling
+    ``capacity``, admission bucket, bulkhead slots), so any
+    ``Store``/``deque``/``Queue`` constructed in ``tiers/`` or
+    ``controlplane/`` without its bound argument is either a latent
+    millibottleneck amplifier or needs a
+    ``# statan: ignore[QUEUE001]`` stating the invariant that bounds
+    it externally.
+    """
+
+    id = "queue-bound"
+    description = "unbounded queue construction in tier/control-plane code"
+    codes = ("QUEUE001",)
+
+    def make_visitor(self, ctx: Context) -> ast.NodeVisitor:
+        rule = self
+        parts = ctx.path.replace("\\", "/").split("/")
+        applies = "tiers" in parts or "controlplane" in parts
+
+        class Visitor(ast.NodeVisitor):
+            def visit_Call(self, node: ast.Call) -> None:
+                if applies:
+                    rule._check(ctx, node)
+                self.generic_visit(node)
+
+        return Visitor()
+
+    def _check(self, ctx: Context, node: ast.Call) -> None:
+        name = _dotted(node.func)
+        if name is None:
+            return
+        short = name.rsplit(".", 1)[-1]
+        bound = _QUEUE_BOUND_KWARG.get(short)
+        if bound is None:
+            return
+        if any(keyword.arg == bound for keyword in node.keywords):
+            return
+        # Positional bounds: Store(env, capacity) / deque(iterable,
+        # maxlen) / Queue(maxsize) pass the bound as the last expected
+        # positional argument.
+        positional_bound = {"Store": 2, "deque": 2, "Queue": 1,
+                            "LifoQueue": 1, "PriorityQueue": 1}[short]
+        if len(node.args) >= positional_bound:
+            return
+        ctx.report(node, "QUEUE001", self.id, Severity.WARNING,
+                   "unbounded {}(...) on the request path: an unlimited "
+                   "queue absorbs a millibottleneck silently and "
+                   "re-emits it as drops downstream; pass {}= or "
+                   "suppress with the bounding invariant".format(
+                       short, bound))
+
+
 #: The default ruleset, in reporting order.
 RULES: tuple[Rule, ...] = (
     DeterminismRule(),
@@ -850,6 +923,7 @@ RULES: tuple[Rule, ...] = (
     UnboundedRetryRule(),
     SeedThreadingRule(),
     PerfHotPathRule(),
+    QueueBoundRule(),
 )
 
 

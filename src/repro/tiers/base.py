@@ -200,9 +200,23 @@ class FrontendTier(TierServer):
         self.dispatcher: Optional[Dispatcher] = None
         self._busy_workers = 0
         self._workers: list = []
+        # Control-plane attachments (see repro.controlplane).  All
+        # default to None; the presence checks below add no events, so
+        # an unconfigured frontend is event-identical to the seed one.
+        self.admission = None
+        self.bulkhead = None
+        self.leveler = None
+        #: Requests answered fast by a control-plane mechanism
+        #: (admission/bulkhead/leveling overflow) instead of served.
+        self.shed_responses = 0
+        #: Requests parked in (or draining from) the leveling queue —
+        #: part of ``in_server``: they are inside the tier even though
+        #: no worker thread holds them.
+        self._leveled_inflight = 0
         self._span_queue_wait = role + ".queue_wait"
         self._span_service = role + ".service"
         self._span_error = role + ".error_503"
+        self._span_shed = role + ".shed"
 
     def attach_dispatcher(self, dispatcher: Dispatcher) -> None:
         """Wire the downstream dispatcher and start the worker threads."""
@@ -212,6 +226,44 @@ class FrontendTier(TierServer):
         self.dispatcher = dispatcher
         self._workers = [self.env.process(self._worker())
                          for _ in range(self.max_clients)]
+
+    # -- control-plane wiring ----------------------------------------------
+    def install_admission(self, controller) -> None:
+        """Gate every request through a token-bucket controller."""
+        if self.admission is not None:
+            raise ConfigurationError(
+                "{} already has admission control".format(self.name))
+        self.admission = controller
+
+    def install_bulkhead(self, bulkhead) -> None:
+        """Partition worker capacity across request classes.
+
+        When combined with a leveling queue the bulkhead bounds the
+        *entry* stage (admission through the first CPU half); residence
+        beyond the queue is bounded by the drain concurrency.
+        """
+        if self.bulkhead is not None:
+            raise ConfigurationError(
+                "{} already has a bulkhead".format(self.name))
+        self.bulkhead = bulkhead
+
+    def install_leveling(self, config):
+        """Level the downstream boundary through a bounded FIFO.
+
+        The worker thread parks the request and returns to the accept
+        loop immediately — the chain "all workers stuck → accept queue
+        overflows → packet drop → TCP retransmission" is broken at its
+        first link.  Returns the created queue for observability.
+        """
+        from repro.controlplane.leveling import LevelingQueue
+
+        if self.leveler is not None:
+            raise ConfigurationError(
+                "{} already has a leveling queue".format(self.name))
+        self.leveler = LevelingQueue(
+            self.env, config, drain=self._drain_leveled,
+            on_shed=self._shed_leveled, name=self.name + ".leveling")
+        return self.leveler
 
     def _worker(self):
         while True:
@@ -233,9 +285,39 @@ class FrontendTier(TierServer):
                     tracer.finish(span)
 
     def _handle(self, request: Request):
-        interaction = request.interaction
-        demand = getattr(interaction, self.cpu_source)
+        if self.admission is not None:
+            admitted = yield from self.admission.admit(request)
+            if not admitted:
+                self._shed(request)
+                return
+        if self.bulkhead is not None:
+            slot = yield from self.bulkhead.acquire(request)
+            if slot is None:
+                self._shed(request)
+                return
+            try:
+                yield from self._process(request)
+            finally:
+                slot.cancel_or_release()
+            return
+        yield from self._process(request)
+
+    def _process(self, request: Request):
+        demand = getattr(request.interaction, self.cpu_source)
         yield from self.host.execute(demand * 0.5)
+        if self.leveler is not None:
+            # Park the request and free this worker for the accept
+            # loop; a drain process runs _drain_leveled.  The counter
+            # moves before offer() so an overflow shed (which runs the
+            # callbacks synchronously) stays balanced.
+            self._leveled_inflight += 1
+            if not self.leveler.offer(request):
+                self._leveled_inflight -= 1
+                self._shed(request)
+            return
+        yield from self._finish(request, demand)
+
+    def _finish(self, request: Request, demand: float):
         try:
             yield from self.dispatcher.dispatch(request)
         except NoCandidateError:
@@ -250,7 +332,28 @@ class FrontendTier(TierServer):
         yield from self.host.execute(demand * 0.5)
         self.host.write_file(self.access_log_bytes)
         self.requests_completed += 1
-        self.bytes_served += interaction.traffic_bytes
+        self.bytes_served += request.interaction.traffic_bytes
+        request.completion.succeed(request)
+
+    def _drain_leveled(self, request: Request):
+        """Boundary crossing for a leveled request (runs on a drain)."""
+        try:
+            demand = getattr(request.interaction, self.cpu_source)
+            yield from self._finish(request, demand)
+        finally:
+            self._leveled_inflight -= 1
+
+    def _shed_leveled(self, victim: Request) -> None:
+        """Overflow eviction callback from the leveling queue."""
+        self._leveled_inflight -= 1
+        self._shed(victim)
+
+    def _shed(self, request: Request) -> None:
+        """Answer a request fast because a control-plane gate refused it."""
+        self.shed_responses += 1
+        tracer = self.env.tracer
+        if tracer is not None:
+            tracer.instant(request.request_id, self._span_shed)
         request.completion.succeed(request)
 
     # -- observability -----------------------------------------------------
@@ -265,8 +368,14 @@ class FrontendTier(TierServer):
 
     @property
     def in_server(self) -> int:
-        """Accept queue plus in-service (the paper's Apache queue plots)."""
-        return self.socket.queue_length + self._busy_workers
+        """Accept queue plus in-service (the paper's Apache queue plots).
+
+        Leveled requests stay in-service while parked: no worker thread
+        holds them, but they are inside the tier until a drain answers
+        them.
+        """
+        return (self.socket.queue_length + self._busy_workers
+                + self._leveled_inflight)
 
     @property
     def dropped_packets(self) -> int:
@@ -402,18 +511,46 @@ class PooledTier(TierServer):
         self.connections = Resource(env, capacity=max_connections)
         self.cpu_source = cpu_source
         self.queries_executed = 0
+        #: Optional read/write capacity partition (repro.controlplane).
+        self.bulkhead = None
+        #: Requests refused because their bulkhead partition was full.
+        self.shed_responses = 0
         self._span_pool_wait = role + ".pool_wait"
         self._span_service = role + ".service"
+
+    def install_bulkhead(self, bulkhead) -> None:
+        """Partition the connection pool across request classes."""
+        if self.bulkhead is not None:
+            raise ConfigurationError(
+                "{} already has a bulkhead".format(self.name))
+        self.bulkhead = bulkhead
 
     def query(self, request: Request):
         """Process generator: run the request's queries on one connection.
 
         The caller (an upstream worker thread) holds one pooled
-        connection for all of the request's queries.
+        connection for all of the request's queries.  A full bulkhead
+        partition surfaces as :class:`~repro.errors.NoCandidateError`,
+        which upstream tiers translate into degraded responses.
         """
         interaction = request.interaction
         if interaction.db_queries == 0:
             return
+        if self.bulkhead is not None:
+            slot = yield from self.bulkhead.acquire(request)
+            if slot is None:
+                self.shed_responses += 1
+                raise NoCandidateError(
+                    "{}: bulkhead partition full".format(self.name))
+            try:
+                yield from self._query_pooled(request)
+            finally:
+                slot.cancel_or_release()
+            return
+        yield from self._query_pooled(request)
+
+    def _query_pooled(self, request: Request):
+        interaction = request.interaction
         tracer = self.env.tracer
         pool_span = (tracer.start(request.request_id, self._span_pool_wait,
                                   server=self.name)
@@ -450,7 +587,15 @@ class PooledTier(TierServer):
         self.env.process(self._serve(request, reply))
 
     def _serve(self, request: Request, reply: Event):
-        yield from self.query(request)
+        try:
+            yield from self.query(request)
+        except NoCandidateError:
+            # Bulkhead shed on a dispatched request: answer degraded
+            # instead of crashing the spawned process — the upstream
+            # dispatch already counts the work as completed.
+            self.error_responses += 1
+            reply.succeed(request)
+            return
         reply.succeed(request)
 
     @property

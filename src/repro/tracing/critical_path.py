@@ -43,6 +43,12 @@ BUCKET_OF_SPAN: dict[str, str] = {
     "mysql.service": "service.mysql",
     "hedge.issued": "balancer.other",
     "hedge.win": "balancer.other",
+    # Control-plane gates: deliberate backpressure, not a symptom.
+    # Explicit entries keep these out of the queue_wait.* suffix rule
+    # so VLRT cause attribution never blames the remedy for the wait
+    # it intentionally introduces.
+    "admission.queue_wait": "controlplane.wait",
+    "bulkhead.queue_wait": "controlplane.wait",
 }
 
 #: Buckets that are queue wait somewhere in the stack.  The balancer's

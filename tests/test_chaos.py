@@ -13,8 +13,12 @@ from repro.cluster import (
     ExperimentRunner,
     PacketLossFault,
     ScaleProfile,
+    all_remedy_keys,
+    fault_horizon,
     fault_specs,
+    resolve_remedy,
 )
+from repro.controlplane import CONTROLPLANE_BUNDLES
 from repro.core import MemberState
 from repro.errors import ConfigurationError
 from repro.parallel import run_experiments
@@ -65,6 +69,32 @@ class TestSuiteConstruction:
         with pytest.raises(ConfigurationError):
             ChaosSuite(duration=0.0)
 
+    def test_unknown_remedy_error_lists_both_registries(self):
+        """The remedy namespace spans resilience and control-plane
+        bundles; a typo's error message must advertise all of them."""
+        with pytest.raises(ConfigurationError) as excinfo:
+            ChaosSuite(remedy_keys=["prayer"])
+        message = str(excinfo.value)
+        for key in ("breaker", "full", "admission+leveling",
+                    "autoscale_fast"):
+            assert key in message
+
+    def test_all_remedy_keys_is_sorted_union(self):
+        keys = all_remedy_keys()
+        assert keys == sorted(keys)
+        assert set(keys) == set(RESILIENCE_BUNDLES) | set(
+            CONTROLPLANE_BUNDLES)
+
+    def test_resolve_remedy_partitions_the_namespace(self):
+        """Each remedy key yields exactly one of (resilience,
+        controlplane) — or neither, for the shared "none" key."""
+        for key in all_remedy_keys():
+            resilience, controlplane = resolve_remedy(key)
+            if key == "none":
+                assert resilience is None and controlplane is None
+            else:
+                assert (resilience is None) != (controlplane is None)
+
     def test_grid_is_fault_major(self):
         suite = ChaosSuite(fault_keys=["none", "crash"],
                            remedy_keys=["none", "breaker"],
@@ -91,6 +121,7 @@ class TestSuiteConstruction:
         assert unremedied.faults == ()
         remedied = by_label["crash|breaker|current_load_modified"]
         assert remedied.resilience == RESILIENCE_BUNDLES["breaker"]
+        assert remedied.controlplane is None
         assert len(remedied.faults) == 1
         for config in by_label.values():
             assert config.duration == 7.0
@@ -98,6 +129,22 @@ class TestSuiteConstruction:
             assert config.profile == profile
             assert not config.trace_dispatches
             assert not config.trace_lb_values
+
+    def test_controlplane_remedy_wiring(self):
+        """A control-plane remedy key sets ``config.controlplane`` and
+        leaves ``config.resilience`` untouched — the two remedy axes
+        never mix inside one cell."""
+        suite = ChaosSuite(fault_keys=["crash"],
+                           remedy_keys=["none", "admission+leveling"],
+                           bundle_keys=["current_load_modified"])
+        by_label = {cell.label: cell.config for cell in suite.cells()}
+        remedied = by_label["crash|admission+leveling|current_load_modified"]
+        assert remedied.controlplane == CONTROLPLANE_BUNDLES[
+            "admission+leveling"]
+        assert remedied.resilience is None
+        bare = by_label["crash|none|current_load_modified"]
+        assert bare.controlplane is None
+        assert bare.resilience is None
 
 
 class TestChaosReport:
@@ -122,11 +169,45 @@ class TestChaosReport:
             # request (in-flight work at run end leaves a tiny residue).
             assert 1.0 <= row["amplification"] < 1.01
 
+    def test_rows_carry_shed_and_recovery_columns(self, report):
+        for row in report.rows():
+            # No admission/leveling remedy in this grid: nothing sheds.
+            assert row["sheds"] == 0
+            assert row["shed_pct"] == 0.0
+            # A permanent crash has no fault end, so time-to-recover is
+            # undefined rather than infinite.
+            assert row["ttr"] is None
+
     def test_render_table_shape(self, report):
         lines = report.render().splitlines()
-        assert lines[0].split()[:3] == ["fault", "remedy", "bundle"]
+        header = lines[0].split()
+        assert header[:3] == ["fault", "remedy", "bundle"]
+        assert "shed%" in header and "ttr" in header
         assert set(lines[1]) == {"-"}
         assert len(lines) == 2 + len(report.cells)
+
+
+class TestRecoveryMetric:
+    def test_fault_horizon_spans_specs(self):
+        specs = fault_specs("transient_crash", 12.0)
+        horizon = fault_horizon(specs)
+        assert horizon is not None
+        start, end = horizon
+        assert 0.0 <= start < end <= 12.0
+
+    def test_permanent_fault_has_no_horizon(self):
+        assert fault_horizon(fault_specs("crash", 12.0)) is None
+        assert fault_horizon(()) is None
+
+    def test_transient_fault_rows_report_finite_or_inf_ttr(self):
+        suite = ChaosSuite(fault_keys=["transient_crash"],
+                           remedy_keys=["none"],
+                           bundle_keys=["current_load_modified"],
+                           duration=6.0)
+        (row,) = suite.run().rows()
+        ttr = row["ttr"]
+        assert ttr is not None
+        assert ttr >= 0.0  # inf compares fine here
 
 
 class TestDeterminism:

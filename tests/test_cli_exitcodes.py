@@ -66,6 +66,42 @@ class TestChaosCommand:
         assert code == 2
         assert "fault" in capsys.readouterr().err
 
+    def test_chaos_unknown_remedy_exits_2_and_lists_all_keys(self, capsys):
+        code = main(["chaos", "--remedies", "not_a_remedy",
+                     "--duration", "2"])
+        err = capsys.readouterr().err
+        assert code == 2
+        # The message advertises the full remedy namespace: resilience
+        # bundles and control-plane bundles alike.
+        for key in ("breaker", "full", "admission+leveling",
+                    "autoscale_fast", "bulkhead"):
+            assert key in err
+
+    def test_chaos_accepts_controlplane_remedy(self, capsys):
+        code = main(["chaos", "--faults", "none",
+                     "--remedies", "admission+leveling",
+                     "--bundles", "current_load_modified",
+                     "--duration", "2"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "admission+leveling" in out
+
+
+class TestControlplaneCommand:
+    def test_controlplane_succeeds_and_reports_mechanisms(self, capsys):
+        code = main(["controlplane", "--duration", "2"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "admission" in out
+        assert "leveling" in out
+
+    def test_controlplane_unknown_remedy_exits_2(self, capsys):
+        code = main(["controlplane", "--remedy", "not_a_remedy",
+                     "--duration", "2"])
+        err = capsys.readouterr().err
+        assert code == 2
+        assert "admission+leveling" in err
+
 
 class TestStatanCommand:
     def test_clean_file_exits_0(self, tmp_path):

@@ -31,6 +31,7 @@ from repro.cluster.config import ScaleProfile
 from repro.cluster.runner import ExperimentConfig, ExperimentRunner
 from repro.cluster.scenarios import FAULT_SCENARIOS, fault_specs
 from repro.cluster.topology import build_system
+from repro.controlplane import CONTROLPLANE_BUNDLES
 from repro.core.remedies import BUNDLES, get_bundle
 from repro.netmodel.tcp import GaveUp, TcpSender
 from repro.resilience import RESILIENCE_BUNDLES, get_resilience
@@ -70,12 +71,17 @@ def assert_packet_conservation(result):
 def assert_web_tier_conservation(result):
     for apache in result.system.apaches:
         accepted = apache.socket.accepted
+        # Shed responses (admission / bulkhead / leveling overflow) are
+        # fast completions the control plane answered; leveled requests
+        # parked in the queue count via in_server.
         accounted = (apache.requests_completed + apache.error_responses
-                     + apache.in_server)
+                     + apache.shed_responses + apache.in_server)
         assert accepted == accounted, (
-            "{}: accepted {} != completed {} + 503s {} + in_server {}"
-            .format(apache.name, accepted, apache.requests_completed,
-                    apache.error_responses, apache.in_server))
+            "{}: accepted {} != completed {} + 503s {} + sheds {} "
+            "+ in_server {}".format(
+                apache.name, accepted, apache.requests_completed,
+                apache.error_responses, apache.shed_responses,
+                apache.in_server))
         assert apache.busy_workers >= 0
         assert apache.queue_length >= 0
 
@@ -91,7 +97,11 @@ def assert_client_conservation(result):
 
 def assert_balancer_accounting(result):
     for balancer in result.system.balancers:
-        for member in balancer.members:
+        # Retired members (autoscaler scale-downs) keep their counters;
+        # the identities must close over live and retired alike.
+        members = (list(balancer.members)
+                   + list(getattr(balancer, "retired_members", ())))
+        for member in members:
             assert member.inflight >= 0, member.name
             assert member.dispatched == member.completed + member.inflight, (
                 "{}: dispatched {} != completed {} + inflight {}".format(
@@ -130,6 +140,39 @@ def test_invariants_hold_for_every_fault_scenario(fault_key, remedy_key):
         faults=fault_specs(fault_key, DURATION),
         resilience=get_resilience(remedy_key))
     assert_all_invariants(result)
+
+
+@pytest.mark.parametrize("remedy_key", sorted(CONTROLPLANE_BUNDLES))
+@pytest.mark.parametrize("fault_key", ["none", "packet_loss",
+                                       "transient_crash"])
+def test_invariants_hold_for_every_controlplane_bundle(fault_key,
+                                                       remedy_key):
+    """Control-plane remedies — sheds, leveling queues, bulkheads and
+    replica churn included — conserve requests under faults.  Shed
+    responses enter the web-tier identity; dynamic replicas enter the
+    balancer identity via ``retired_members``."""
+    result = run_experiment(
+        bundle_key="current_load_modified", seed=7,
+        faults=fault_specs(fault_key, DURATION),
+        controlplane=CONTROLPLANE_BUNDLES[remedy_key])
+    assert_all_invariants(result)
+
+
+def test_invariants_hold_with_aggressive_replica_churn():
+    """An autoscaler flapping between watermarks every interval keeps
+    every conservation identity intact, including requests in flight
+    on replicas that retire under them."""
+    from repro.controlplane import AutoscalerConfig, ControlPlaneConfig
+
+    result = run_experiment(
+        bundle_key="current_load_modified", seed=7,
+        faults=fault_specs("transient_crash", DURATION),
+        controlplane=ControlPlaneConfig(autoscaler=AutoscalerConfig(
+            interval=0.25, warmup=0.25, cooldown=0.25,
+            high_watermark=0.4, low_watermark=0.2, max_replicas=6)))
+    assert_all_invariants(result)
+    scaler = result.system.autoscalers[0]
+    assert scaler.scale_ups + scaler.scale_downs > 0
 
 
 def test_invariants_hold_continuously_under_millibottlenecks():

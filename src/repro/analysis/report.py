@@ -65,6 +65,35 @@ def table1_with_paper(results: Sequence[ExperimentResult]) -> str:
     return table(headers, rows)
 
 
+def rematch_table(rows: Sequence[dict]) -> str:
+    """Render the modern-policy rematch grid (``table1 --policies``).
+
+    One row per (bundle, fault) cell; ``probes/s`` is the probe-message
+    overhead a probing policy pays for its ranking, and ``sticky``
+    counts affinity violations — both zero for classic bundles, so the
+    columns double as a no-hidden-traffic check.
+    """
+    if not rows:
+        raise AnalysisError("no rematch cells to report")
+    headers = ["Bundle", "Fault", "%VLRT", "Avail%", "Goodput/s",
+               "Probes/s", "Sticky", "Reqs", "Drops", "503s"]
+    body = []
+    for row in rows:
+        body.append([
+            row["bundle"],
+            row["fault"],
+            "{:.3f}".format(row["vlrt_pct"]),
+            "{:.2f}".format(100.0 * row["availability"]),
+            "{:.1f}".format(row["goodput"]),
+            "{:.1f}".format(row["probes_per_s"]),
+            row["sticky_violations"],
+            row["requests"],
+            row["drops"],
+            row["errors_503"],
+        ])
+    return table(headers, body)
+
+
 def improvement_factors(results: Sequence[ExperimentResult],
                         baseline_key: str = "original_total_request"
                         ) -> dict[str, float]:

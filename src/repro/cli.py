@@ -88,9 +88,27 @@ def _cmd_topology(args: argparse.Namespace) -> int:
 
 
 def _cmd_table1(args: argparse.Namespace) -> int:
+    if args.policies is not None:
+        from repro.cluster.config import ScaleProfile
+        from repro.cluster.scenarios import PolicyRematch
+
+        extra = _split(args.policies) or []
+        suite = PolicyRematch(
+            bundle_keys=[b.key for b in TABLE1_BUNDLES] + extra,
+            fault_keys=_split(args.faults),
+            duration=(args.duration if args.duration is not None
+                      else 12.0),
+            seed=args.seed,
+            profile=(ScaleProfile() if args.full_scale
+                     else ScaleProfile.smoke()),
+        )
+        report = suite.run(workers=args.workers)
+        print(report.render())
+        return 0
     results = compare_policies(
         [bundle.key for bundle in TABLE1_BUNDLES],
-        duration=args.duration, seed=args.seed, workers=args.workers)
+        duration=args.duration if args.duration is not None else 20.0,
+        seed=args.seed, workers=args.workers)
     print(table1(results))
     print()
     print(table1_with_paper(results))
@@ -347,11 +365,30 @@ def build_parser() -> argparse.ArgumentParser:
                       help="spec JSON paths or builtin names")
     topo.set_defaults(func=_cmd_topology)
 
-    t1 = sub.add_parser("table1", help="run the Table I comparison")
-    t1.add_argument("--duration", type=float, default=20.0)
+    t1 = sub.add_parser(
+        "table1",
+        help="run the Table I comparison (or its modern-policy rematch)",
+        description="Without --policies: the paper's six-bundle Table I "
+                    "comparison.  With --policies: the rematch report — "
+                    "Table-I bundles plus the named modern bundles, "
+                    "crossed with a chaos fault axis, with probe-"
+                    "overhead and goodput columns.")
+    t1.add_argument("--duration", type=float, default=None,
+                    help="run length per cell (default: 20s for the "
+                         "classic table, 12s for the rematch)")
     t1.add_argument("--seed", type=int, default=42)
     t1.add_argument("--workers", type=int, default=1,
                     help="process-pool size; 1 runs serially (default)")
+    t1.add_argument("--policies", default=None, metavar="KEYS",
+                    help="comma-separated modern bundles to rematch "
+                         "against the Table-I rows (e.g. "
+                         "prequal,jsq_d,jiq,weighted_least_conn,sticky)")
+    t1.add_argument("--faults", default=None, metavar="KEYS",
+                    help="rematch fault axis (default: "
+                         "none,slow,packet_loss; only with --policies)")
+    t1.add_argument("--full-scale", action="store_true",
+                    help="rematch at the paper-scale profile instead of "
+                         "the fast smoke profile (only with --policies)")
     t1.set_defaults(func=_cmd_table1)
 
     rep = sub.add_parser(

@@ -230,6 +230,21 @@ class ExperimentResult:
         return (self.population.attempts_issued
                 + self.hedges_issued()) / logical
 
+    def probe_messages(self) -> int:
+        """Probe messages sent by probing policies (Prequal's pool).
+
+        The rematch report divides this by the run length to show the
+        measurement overhead a probing policy pays for its ranking.
+        """
+        return sum(getattr(balancer.policy, "probes_sent", 0)
+                   for balancer in self.system.balancers)
+
+    def sticky_violations(self) -> int:
+        """Broken affinity promises recorded by sticky-session policies
+        (a pinned member was ineligible and the session moved)."""
+        return sum(getattr(balancer.policy, "violations", 0)
+                   for balancer in self.system.balancers)
+
     def goodput(self) -> float:
         """Useful responses (no 503, not shed, under the VLRT
         threshold) per second."""

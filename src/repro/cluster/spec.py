@@ -31,6 +31,7 @@ from repro.controlplane.admission import AdmissionConfig
 from repro.controlplane.autoscaler import AutoscalerConfig
 from repro.controlplane.bulkhead import BulkheadConfig
 from repro.controlplane.leveling import LevelingConfig
+from repro.core.policies import PrequalProbeConfig, StickyConfig
 from repro.errors import ConfigurationError
 from repro.osmodel.profiles import MillibottleneckProfile
 
@@ -129,8 +130,14 @@ class TierSpec:
     #: Reactive replica scaling (any tier but the frontend — clients
     #: bind their sockets when the population is created).
     autoscaler: Optional[AutoscalerConfig] = None
+    #: HAProxy-style static capacity weights, one per replica; read by
+    #: upstream ``weighted_least_conn`` balancers (members scaled in
+    #: later default to weight 1.0).
+    weights: Optional[tuple[float, ...]] = None
 
     def __post_init__(self) -> None:
+        if self.weights is not None:
+            object.__setattr__(self, "weights", tuple(self.weights))
         _require(bool(self.name) and isinstance(self.name, str),
                  "tier name must be a non-empty string")
         _require(self.service in SERVICE_MODELS,
@@ -158,6 +165,13 @@ class TierSpec:
                      "tier {!r}: bulkheads partition frontend worker "
                      "slots or pooled connections, not {!r} tiers".format(
                          self.name, self.service))
+        if self.weights is not None:
+            _require(len(self.weights) == self.replicas,
+                     "tier {!r}: need one weight per replica "
+                     "({} != {})".format(self.name, len(self.weights),
+                                         self.replicas))
+            _require(all(w > 0 for w in self.weights),
+                     "tier {!r}: weights must be positive".format(self.name))
         if self.autoscaler is not None:
             _require(self.service != "frontend",
                      "tier {!r}: frontend tiers cannot autoscale — "
@@ -187,6 +201,8 @@ class TierSpec:
                                     ("autoscaler", AutoscalerConfig)):
                 if isinstance(data.get(key), dict):
                     data[key] = _from_mapping(config_cls, data[key], key)
+            if isinstance(data.get("weights"), list):
+                data["weights"] = tuple(data["weights"])
         return _from_mapping(cls, data, "tier")
 
 
@@ -219,6 +235,13 @@ class BoundarySpec:
     #: get a request/reply wrapper).  Not available on inline
     #: boundaries — there is no dispatcher to level.
     leveling: Optional[LevelingConfig] = None
+    #: Probe-pool tuning for probing policies (``prequal``); applied
+    #: via ``Policy.configure``, which rejects it for any policy that
+    #: does not probe.
+    probe: Optional[PrequalProbeConfig] = None
+    #: Session-affinity tuning for ``sticky`` balancers; rejected by
+    #: every other policy.
+    affinity: Optional[StickyConfig] = None
 
     def __post_init__(self) -> None:
         _require(self.mode in BOUNDARY_MODES,
@@ -246,6 +269,14 @@ class BoundarySpec:
             _require(self.resilience is None,
                      "boundary mode {!r} takes no resilience bundle".format(
                          self.mode))
+            _require(self.probe is None,
+                     "boundary mode {!r} takes no probe tuning — only "
+                     "balanced boundaries run probing policies".format(
+                         self.mode))
+            _require(self.affinity is None,
+                     "boundary mode {!r} takes no affinity tuning — only "
+                     "balanced boundaries run sticky policies".format(
+                         self.mode))
         if self.mode == "inline":
             _require(self.leveling is None,
                      "inline boundaries take no leveling queue — there "
@@ -254,9 +285,12 @@ class BoundarySpec:
     @classmethod
     def from_dict(cls, data: dict) -> "BoundarySpec":
         data = dict(data) if isinstance(data, dict) else data
-        if isinstance(data, dict) and isinstance(data.get("leveling"), dict):
-            data["leveling"] = _from_mapping(LevelingConfig,
-                                             data["leveling"], "leveling")
+        if isinstance(data, dict):
+            for key, config_cls in (("leveling", LevelingConfig),
+                                    ("probe", PrequalProbeConfig),
+                                    ("affinity", StickyConfig)):
+                if isinstance(data.get(key), dict):
+                    data[key] = _from_mapping(config_cls, data[key], key)
         return _from_mapping(cls, data, "boundary")
 
 
@@ -381,11 +415,14 @@ class TopologySpec:
         data = asdict(self)
         for tier in data["tiers"]:
             for key in ("flush", "disk_bandwidth", "cpu_source",
-                        "admission", "bulkhead", "autoscaler"):
+                        "admission", "bulkhead", "autoscaler", "weights"):
                 if tier[key] is None:
                     del tier[key]
+            if "weights" in tier:
+                tier["weights"] = list(tier["weights"])
         for boundary in data["boundaries"]:
-            for key in ("bundle", "pool_size", "resilience", "leveling"):
+            for key in ("bundle", "pool_size", "resilience", "leveling",
+                        "probe", "affinity"):
                 if boundary[key] is None:
                     del boundary[key]
         return data
@@ -435,6 +472,9 @@ class TopologySpec:
                 extras += " autoscale[{}..{}]".format(
                     tier.autoscaler.min_replicas,
                     tier.autoscaler.max_replicas)
+            if tier.weights is not None:
+                extras += " weights({})".format(
+                    ", ".join("{:g}".format(w) for w in tier.weights))
             lines.append("  [{}] {} x{} ({}, capacity={}){}{}".format(
                 depth, tier.name, tier.replicas, tier.service,
                 tier.capacity, flush, extras))
@@ -448,6 +488,12 @@ class TopologySpec:
                 if boundary.leveling:
                     detail += " leveling(cap={})".format(
                         boundary.leveling.capacity)
+                if boundary.probe:
+                    detail += " probe(interval={}, d={})".format(
+                        boundary.probe.interval, boundary.probe.d)
+                if boundary.affinity:
+                    detail += " affinity(fallback={})".format(
+                        boundary.affinity.fallback)
                 lines.append("       | " + detail)
         return "\n".join(lines)
 

@@ -418,13 +418,22 @@ def _make_dispatcher(env, system, owner_name, boundary, downstream, depth,
         boundary, depth, policy_factory, mechanism_factory, default_bundle)
     boundary_config = (replace(config, pool_size=boundary.pool_size)
                        if boundary.pool_size is not None else config)
+    policy = make_policy()
+    if boundary.probe is not None or boundary.affinity is not None:
+        # configure() raises when the policy cannot consume the tuning
+        # (probe knobs on total_request, affinity on prequal, ...), so
+        # a spec cannot silently carry dead configuration.
+        policy.configure(probe=boundary.probe, affinity=boundary.affinity)
+    weights = (system.spec.tiers[depth + 1].weights
+               if system.spec is not None else None)
     balancer = LoadBalancer(
         env, owner_name + ".lb", downstream,
-        policy=make_policy(),
+        policy=policy,
         mechanism=make_mechanism(),
         rng=rng,
         config=boundary_config,
         state_config=state_config,
+        weights=weights,
     )
     system.balancers.append(balancer)
     # Membership churn applies to the balancer itself, never a wrapper.

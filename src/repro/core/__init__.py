@@ -28,15 +28,27 @@ from repro.core.policies import (
     POLICIES,
     CurrentLoadPolicy,
     EwmaLatencyPolicy,
+    JoinIdleQueuePolicy,
     Policy,
+    PrequalPolicy,
+    PrequalProbeConfig,
     RandomPolicy,
     RoundRobinPolicy,
+    StickyConfig,
+    StickySessionPolicy,
     TotalRequestPolicy,
     TotalTrafficPolicy,
     TwoChoicesPolicy,
+    WeightedLeastConnPolicy,
     make_policy,
 )
-from repro.core.remedies import BUNDLES, TABLE1_BUNDLES, RemedyBundle, get_bundle
+from repro.core.remedies import (
+    BUNDLES,
+    MODERN_BUNDLES,
+    TABLE1_BUNDLES,
+    RemedyBundle,
+    get_bundle,
+)
 from repro.core.states import MemberState, StateConfig
 
 __all__ = [
@@ -55,6 +67,12 @@ __all__ = [
     "RandomPolicy",
     "TwoChoicesPolicy",
     "EwmaLatencyPolicy",
+    "PrequalPolicy",
+    "PrequalProbeConfig",
+    "JoinIdleQueuePolicy",
+    "WeightedLeastConnPolicy",
+    "StickyConfig",
+    "StickySessionPolicy",
     "POLICIES",
     "make_policy",
     "LB_MULT",
@@ -68,6 +86,7 @@ __all__ = [
     "DEFAULT_POOL_SIZE",
     "RemedyBundle",
     "TABLE1_BUNDLES",
+    "MODERN_BUNDLES",
     "BUNDLES",
     "get_bundle",
 ]

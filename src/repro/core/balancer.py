@@ -69,9 +69,17 @@ class LoadBalancer:
                  mechanism: GetEndpointMechanism,
                  rng: np.random.Generator,
                  config: BalancerConfig | None = None,
-                 state_config: StateConfig | None = None) -> None:
+                 state_config: StateConfig | None = None,
+                 weights: Optional[Sequence[float]] = None) -> None:
         if not backends:
             raise ConfigurationError("balancer needs at least one backend")
+        if weights is not None:
+            if len(weights) != len(backends):
+                raise ConfigurationError(
+                    "need one weight per backend ({} != {})".format(
+                        len(weights), len(backends)))
+            if any(w <= 0 for w in weights):
+                raise ConfigurationError("member weights must be positive")
         self.env = env
         self.name = name
         self.policy = policy
@@ -122,10 +130,17 @@ class LoadBalancer:
         self._all_available = True
         for member in self.members:
             member.on_state_change = self._member_state_changed
+        if weights is not None:
+            for member, weight in zip(self.members, weights):
+                member.weight = float(weight)
+        # Last step of construction: the policy may start its probe
+        # pool here (classic policies no-op, keeping them zero-event).
+        self.policy.attach(self)
 
     def _member_state_changed(self, member: BalancerMember) -> None:
         self._all_available = all(
             m.state is MemberState.AVAILABLE for m in self.members)
+        self.policy.on_member_state(member)
 
     # -- membership (autoscaling) ---------------------------------------------
     def add_member(self, server, preconnect: bool = False) -> BalancerMember:
@@ -157,6 +172,7 @@ class LoadBalancer:
             member.breaker = self._breaker_factory()
         self.members.append(member)
         self._member_state_changed(member)
+        self.policy.on_member_added(member)
         return member
 
     def retire_member(self, name: str) -> BalancerMember:
@@ -178,6 +194,7 @@ class LoadBalancer:
         member = self.members.pop(position)
         self.retired_members.append(member)
         self._member_state_changed(member)
+        self.policy.on_member_removed(member)
         return member
 
     # -- resilience wiring ----------------------------------------------------
@@ -206,7 +223,8 @@ class LoadBalancer:
         self._breaker_factory = factory
 
     # -- candidate selection --------------------------------------------------
-    def _pick(self) -> Optional[BalancerMember]:
+    def _pick(self, request: Optional[Request] = None
+              ) -> Optional[BalancerMember]:
         """Choose a candidate, honouring the 3-state machine.
 
         Available (and recheck-eligible Busy / recovery-eligible Error)
@@ -218,7 +236,7 @@ class LoadBalancer:
             # Every member is Available, so the eligibility filter
             # would return all of them: hand the member list to the
             # policy as-is (policies only read the sequence).
-            return self.policy.select(self.members, self._rng)
+            return self.policy.select(self.members, self._rng, request)
         now = self.env.now
         eligible = [m for m in self.members if m.eligible(now)]
         if self._breaker_gate and eligible:
@@ -233,7 +251,7 @@ class LoadBalancer:
                         if m.state is not MemberState.ERROR]
             if not eligible:
                 return None
-        return self.policy.select(eligible, self._rng)
+        return self.policy.select(eligible, self._rng, request)
 
     # -- dispatch ---------------------------------------------------------
     def dispatch(self, request: Request):
@@ -253,7 +271,7 @@ class LoadBalancer:
                     if tracer is not None:
                         tracer.finish(span, outcome="cancelled")
                     return request  # statan: ignore[PROC003] -- process value
-                member = self._pick()
+                member = self._pick(request)
                 if member is None:
                     raise NoCandidateError(
                         "{}: all backends in Error state".format(self.name))

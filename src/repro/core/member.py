@@ -80,6 +80,9 @@ class BalancerMember:
         self.dispatched = 0
         self.completed = 0
         self.inflight = 0
+        #: Static capacity weight (HAProxy-style); read by
+        #: :class:`~repro.core.policies.WeightedLeastConnPolicy`.
+        self.weight = 1.0
         #: EWMA of observed response times (used by the latency policy).
         self.ewma_response_time: Optional[float] = None
         #: Optional circuit breaker, installed by

@@ -15,20 +15,52 @@ latency) are provided for the ablation benchmarks: they let users
 check which *family* of policies — cumulative vs. instantaneous —
 inherits the instability.
 
+The modern-policy zoo asks whether post-mod_jk designs escape the
+millibottleneck trap the paper documents:
+
+* :class:`PrequalPolicy` — Prequal's power-of-d *probing*: an async
+  probe pool per balancer samples a member subset every few tens of
+  milliseconds, records requests-in-flight (RIF) and latency, and
+  ranks hot/cold lexicographically (PAPERS.md: "Load is not what you
+  should balance").  Stale probes are evicted, so a stalled member's
+  last good report ages out instead of freezing at the best rank.
+* :class:`JoinIdleQueuePolicy` — JIQ: an idle queue fed by completion
+  events gives O(1) picks while any member is idle, falling back to
+  JSQ(d) sampling otherwise.
+* :class:`WeightedLeastConnPolicy` — HAProxy-style static weights over
+  instantaneous connection counts.
+* :class:`StickySessionPolicy` — session-key affinity with failover
+  re-pinning and a recorded stickiness-violation count (PAPERS.md:
+  delay vs. stickiness-violation trade-offs).
+
 A policy never picks members itself beyond ranking: eligibility (the
 3-state machine) is the balancer's job; the policy's
-:meth:`Policy.select` only orders the eligible candidates.
+:meth:`Policy.select` only orders the eligible candidates.  Policies
+that need more than the eligible list plug into the balancer through
+the probe/affinity API: :meth:`Policy.attach` (called once per
+balancer; the only place a policy may start processes),
+:meth:`Policy.configure` (spec-driven probe/affinity tuning), and the
+membership hooks (:meth:`Policy.on_member_state`,
+:meth:`Policy.on_member_added`, :meth:`Policy.on_member_removed`).
+Classic policies implement all of these as no-ops, so an unconfigured
+policy schedules **zero events** — the golden traces pin that.
 """
 
 from __future__ import annotations
 
-from typing import Sequence
+from collections import deque
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Optional, Sequence
 
 import numpy as np
 
 from repro.core.member import BalancerMember
+from repro.core.states import MemberState
 from repro.errors import ConfigurationError
 from repro.workload.request import Request
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.balancer import LoadBalancer
 
 #: mod_jk's lb_value quantum.
 LB_MULT = 1.0
@@ -44,10 +76,51 @@ class Policy:
     cumulative = False
 
     def select(self, eligible: Sequence[BalancerMember],
-               rng: np.random.Generator) -> BalancerMember:
-        """Pick the best candidate: lowest lb_value, ties by index."""
+               rng: np.random.Generator,
+               request: Optional[Request] = None) -> BalancerMember:
+        """Pick the best candidate: lowest lb_value, ties by index.
+
+        ``request`` is the request about to be dispatched; only
+        affinity policies read it (classic ranking ignores it).
+        """
         return min(eligible, key=lambda member: (member.lb_value,
                                                  member.index))
+
+    # -- probe/affinity API ------------------------------------------------
+    def attach(self, balancer: "LoadBalancer") -> None:
+        """Hook: the policy now serves ``balancer``.
+
+        Called exactly once, at the end of the balancer's construction.
+        This is the only place a policy may start simulation processes
+        (probe pools); the default is a no-op so classic policies stay
+        zero-event and golden traces are untouched.
+        """
+
+    def configure(self, probe=None, affinity=None) -> None:
+        """Apply spec-declared probe/affinity configuration.
+
+        The base policy accepts neither: passing a non-``None`` config
+        to a policy that cannot consume it is a
+        :class:`~repro.errors.ConfigurationError`, so a topology spec
+        cannot silently attach probe tuning to, say, ``total_request``.
+        """
+        if probe is not None:
+            raise ConfigurationError(
+                "policy {!r} takes no probe configuration".format(
+                    self.name))
+        if affinity is not None:
+            raise ConfigurationError(
+                "policy {!r} takes no affinity configuration".format(
+                    self.name))
+
+    def on_member_state(self, member: BalancerMember) -> None:
+        """Hook: ``member`` went through a real 3-state transition."""
+
+    def on_member_added(self, member: BalancerMember) -> None:
+        """Hook: ``member`` joined the balancer's rotation."""
+
+    def on_member_removed(self, member: BalancerMember) -> None:
+        """Hook: ``member`` was retired from the rotation."""
 
     def on_pick(self, member: BalancerMember, request: Request) -> None:
         """Hook: the member was selected (before endpoint acquisition).
@@ -139,25 +212,36 @@ class CurrentLoadPolicy(Policy):
 
 
 class RoundRobinPolicy(Policy):
-    """Cycle through eligible members regardless of load."""
+    """Cycle through eligible members regardless of load.
+
+    Implemented as least-recently-served rather than a cursor over
+    member indexes: a cursor advances past members that were ineligible
+    at pick time, and when a member's eligibility windows keep missing
+    the cursor position (a recovering Busy member whose recheck
+    instants align with other members' turns), the cursor skew starves
+    it permanently.  Ranking by last-served tick gives the recovered
+    member the very next pick it is eligible for, and reduces to the
+    classic cycle when everyone is eligible.
+    """
 
     name = "round_robin"
     cumulative = False
 
     def __init__(self) -> None:
-        self._next = 0
+        self._clock = 0
+        self._last_served: dict[int, int] = {}
 
     def select(self, eligible: Sequence[BalancerMember],
-               rng: np.random.Generator) -> BalancerMember:
-        # Advance a global cursor over member indexes; pick the first
-        # eligible member at or after the cursor.
-        ordered = sorted(eligible, key=lambda member: member.index)
-        for member in ordered:
-            if member.index >= self._next:
-                self._next = member.index + 1
-                return member
-        self._next = ordered[0].index + 1
-        return ordered[0]
+               rng: np.random.Generator,
+               request: Optional[Request] = None) -> BalancerMember:
+        member = min(eligible, key=lambda m: (
+            self._last_served.get(m.index, -1), m.index))
+        self._clock += 1
+        self._last_served[member.index] = self._clock
+        return member
+
+    def on_member_removed(self, member: BalancerMember) -> None:
+        self._last_served.pop(member.index, None)
 
 
 class RandomPolicy(Policy):
@@ -167,7 +251,8 @@ class RandomPolicy(Policy):
     cumulative = False
 
     def select(self, eligible: Sequence[BalancerMember],
-               rng: np.random.Generator) -> BalancerMember:
+               rng: np.random.Generator,
+               request: Optional[Request] = None) -> BalancerMember:
         return eligible[int(rng.integers(len(eligible)))]
 
 
@@ -183,7 +268,8 @@ class TwoChoicesPolicy(Policy):
     cumulative = False
 
     def select(self, eligible: Sequence[BalancerMember],
-               rng: np.random.Generator) -> BalancerMember:
+               rng: np.random.Generator,
+               request: Optional[Request] = None) -> BalancerMember:
         if len(eligible) == 1:
             return eligible[0]
         first, second = rng.choice(len(eligible), size=2, replace=False)
@@ -212,7 +298,8 @@ class PowerOfDPolicy(Policy):
         self.d = d
 
     def select(self, eligible: Sequence[BalancerMember],
-               rng: np.random.Generator) -> BalancerMember:
+               rng: np.random.Generator,
+               request: Optional[Request] = None) -> BalancerMember:
         n = len(eligible)
         if n <= self.d:
             return min(eligible, key=lambda m: (m.inflight, m.index))
@@ -241,7 +328,8 @@ class EwmaLatencyPolicy(Policy):
         self.alpha = alpha
 
     def select(self, eligible: Sequence[BalancerMember],
-               rng: np.random.Generator) -> BalancerMember:
+               rng: np.random.Generator,
+               request: Optional[Request] = None) -> BalancerMember:
         def key(member: BalancerMember):
             ewma = (member.ewma_response_time
                     if member.ewma_response_time is not None else 0.0)
@@ -262,6 +350,463 @@ class EwmaLatencyPolicy(Policy):
                 + (1 - self.alpha) * member.ewma_response_time)
 
 
+# -- the modern-policy zoo ---------------------------------------------------
+
+@dataclass(frozen=True)
+class PrequalProbeConfig:
+    """Tuning knobs of Prequal's asynchronous probe pool.
+
+    Every ``interval`` seconds the pool probes ``d`` members sampled
+    uniformly (with replacement) from the balancer's rotation; each
+    successful probe records the backend's requests-in-flight and the
+    policy's latency estimate for it.  Results older than ``staleness``
+    are evicted — a stalled member stops answering probes, its last
+    good report ages out, and it drops off the candidate pool instead
+    of freezing at the best rank (the cumulative-policy trap).  At most
+    ``pool`` results are retained; ``hot_quantile`` splits the pool
+    into hot (RIF above the quantile) and cold members, and
+    ``latency_alpha`` is the EWMA weight of the latency estimate.
+    """
+
+    interval: float = 0.05
+    d: int = 2
+    staleness: float = 0.5
+    hot_quantile: float = 0.75
+    pool: int = 16
+    latency_alpha: float = 0.3
+
+    def __post_init__(self) -> None:
+        if self.interval <= 0:
+            raise ConfigurationError("probe interval must be positive")
+        if self.d < 1:
+            raise ConfigurationError("probe d must be >= 1")
+        if self.staleness <= 0:
+            raise ConfigurationError("probe staleness must be positive")
+        if not 0.0 <= self.hot_quantile <= 1.0:
+            raise ConfigurationError("hot_quantile must be in [0, 1]")
+        if self.pool < 1:
+            raise ConfigurationError("probe pool must be >= 1")
+        if not 0 < self.latency_alpha <= 1:
+            raise ConfigurationError("latency_alpha must be in (0, 1]")
+
+
+def _probe_config(probe) -> PrequalProbeConfig:
+    if isinstance(probe, PrequalProbeConfig):
+        return probe
+    if isinstance(probe, dict):
+        try:
+            return PrequalProbeConfig(**probe)
+        except TypeError as err:
+            raise ConfigurationError(
+                "bad probe configuration: {}".format(err)) from None
+    raise ConfigurationError(
+        "probe configuration must be a PrequalProbeConfig or a "
+        "mapping, got {!r}".format(probe))
+
+
+class PrequalPolicy(Policy):
+    """Prequal: probed-RIF/latency ranking with hot/cold ordering.
+
+    "Load is not what you should balance": instead of ranking by a
+    counter the balancer maintains (the §V families), rank by what the
+    backends *report* — an async probe pool keeps a bounded set of
+    fresh (requests-in-flight, latency) observations, and selection is
+    lexicographic: cold members (probed RIF at or below the pool's
+    ``hot_quantile``) come first, ordered by probed latency; hot
+    members follow, ordered by probed RIF.  Millibottleneck behaviour
+    is the point: a stalled backend fails its probes, its entry is
+    evicted, and within ``staleness`` seconds it is out of the
+    candidate pool entirely — no funnel, no sacrificial requests.
+
+    Unattached (or before any probe lands) the policy degrades to
+    JSQ(d) sampling over instantaneous in-flight counts, which keeps
+    it usable standalone and schedules no events.
+    """
+
+    name = "prequal"
+    cumulative = False
+    #: Synthetic trace-id allocator for probe span trees (negative ids
+    #: keep them disjoint from real request ids).
+    _trace_serial = 0
+
+    def __init__(self, config: Optional[PrequalProbeConfig] = None) -> None:
+        self.config = config or PrequalProbeConfig()
+        self._balancer: Optional["LoadBalancer"] = None
+        #: member index -> (probe time, probed RIF, probed latency).
+        self._probes: dict[int, tuple[float, int, float]] = {}
+        #: member index -> completion-fed latency EWMA (what a probe
+        #: snapshots as the member's reported latency).
+        self._ewma: dict[int, float] = {}
+        self.probes_sent = 0
+        self.probe_failures = 0
+        self._trace_id: Optional[int] = None
+
+    def configure(self, probe=None, affinity=None) -> None:
+        if affinity is not None:
+            raise ConfigurationError(
+                "policy 'prequal' takes no affinity configuration")
+        if probe is not None:
+            if self._balancer is not None:
+                raise ConfigurationError(
+                    "configure probes before the policy is attached")
+            self.config = _probe_config(probe)
+
+    def attach(self, balancer: "LoadBalancer") -> None:
+        self._balancer = balancer
+        balancer.env.process(self._probe_pool(balancer))
+
+    # -- the probe pool ----------------------------------------------------
+    def _probe_pool(self, balancer: "LoadBalancer"):
+        """Process: periodically probe ``d`` sampled members."""
+        env, config = balancer.env, self.config
+        while True:
+            yield env.timeout(config.interval)
+            members = balancer.members
+            n = len(members)
+            for _ in range(min(config.d, n)):
+                target = members[int(balancer._rng.integers(n))]
+                yield from self._probe_one(env, balancer, target)
+
+    def _probe_one(self, env, balancer, target: BalancerMember):
+        tracer = env.tracer
+        span = None
+        if tracer is not None:
+            if self._trace_id is None:
+                PrequalPolicy._trace_serial -= 1
+                self._trace_id = PrequalPolicy._trace_serial
+                tracer.begin(self._trace_id, probe_pool=balancer.name)
+            span = tracer.start(self._trace_id, "prequal.probe",
+                                member=target.name)
+        self.probes_sent += 1
+        yield target.link.delay()
+        if target.server.responsive:
+            rif = target.server.in_server
+            yield target.link.delay()
+            self.record_probe(target, rif, at=env.now)
+            if tracer is not None:
+                tracer.finish(span, ok=True, rif=rif)
+        else:
+            # No answer: whatever we knew about this member is wrong
+            # now — evict instead of letting a pre-stall report coast
+            # at the best rank until it ages out.
+            self.probe_failures += 1
+            self._probes.pop(target.index, None)
+            if tracer is not None:
+                tracer.finish(span, ok=False)
+
+    def record_probe(self, member: BalancerMember, rif: int,
+                     at: float, latency: Optional[float] = None) -> None:
+        """Record one probe result (public for conformance tests)."""
+        if latency is None:
+            latency = self._ewma.get(member.index, 0.0)
+        self._probes[member.index] = (at, int(rif), latency)
+        if len(self._probes) > self.config.pool:
+            oldest = min(self._probes, key=lambda i: self._probes[i][0])
+            del self._probes[oldest]
+
+    # -- ranking -----------------------------------------------------------
+    def _fresh(self, eligible: Sequence[BalancerMember],
+               now: float) -> list[tuple[BalancerMember, int, float]]:
+        horizon = now - self.config.staleness
+        fresh = []
+        for member in eligible:
+            entry = self._probes.get(member.index)
+            if entry is not None and entry[0] >= horizon:
+                fresh.append((member, entry[1], entry[2]))
+        return fresh
+
+    def rank_key(self, member: BalancerMember, rif: int, latency: float,
+                 threshold: int) -> tuple:
+        """The lexicographic hot/cold rank (lower is better).
+
+        Cold members (``rif <= threshold``) sort before any hot member;
+        cold order is by probed latency, hot order by probed RIF, and
+        member index breaks every tie — a total order.
+        """
+        if rif > threshold:
+            return (1, rif, latency, member.index)
+        return (0, latency, rif, member.index)
+
+    def select(self, eligible: Sequence[BalancerMember],
+               rng: np.random.Generator,
+               request: Optional[Request] = None) -> BalancerMember:
+        now = (self._balancer.env.now if self._balancer is not None
+               else eligible[0].env.now)
+        entries = self._fresh(eligible, now)
+        if not entries:
+            return self._sample(eligible, rng)
+        rifs = sorted(rif for _, rif, _ in entries)
+        threshold = rifs[int(self.config.hot_quantile * (len(rifs) - 1))]
+        best = min(entries, key=lambda entry: self.rank_key(
+            entry[0], entry[1], entry[2], threshold))
+        return best[0]
+
+    def _sample(self, eligible: Sequence[BalancerMember],
+                rng: np.random.Generator) -> BalancerMember:
+        n = len(eligible)
+        if n <= self.config.d:
+            return min(eligible, key=lambda m: (m.inflight, m.index))
+        best = eligible[int(rng.integers(n))]
+        for _ in range(self.config.d - 1):
+            other = eligible[int(rng.integers(n))]
+            if (other.inflight, other.index) < (best.inflight, best.index):
+                best = other
+        return best
+
+    # -- lifecycle hooks ---------------------------------------------------
+    def on_complete(self, member: BalancerMember, request: Request) -> None:
+        if request.dispatched_at is None:
+            return
+        observed = member.env.now - request.dispatched_at
+        prior = self._ewma.get(member.index)
+        alpha = self.config.latency_alpha
+        self._ewma[member.index] = (
+            observed if prior is None
+            else alpha * observed + (1 - alpha) * prior)
+
+    def on_member_removed(self, member: BalancerMember) -> None:
+        self._probes.pop(member.index, None)
+        self._ewma.pop(member.index, None)
+
+
+class JoinIdleQueuePolicy(Policy):
+    """JIQ: an idle queue gives O(1) picks while any member is idle.
+
+    Completions (and recoveries) that leave a member with zero requests
+    in flight enqueue it; a pick dequeues.  While the queue has a valid
+    head, selection costs O(1) regardless of member count — the
+    large-N answer to the full-scan policies — and a millibottlenecked
+    member simply stops appearing (it never drains to idle during a
+    stall).  With no idle member the policy falls back to JSQ(d)
+    sampling.
+    """
+
+    name = "jiq"
+    cumulative = False
+
+    def __init__(self, d: int = 2) -> None:
+        if d < 1:
+            raise ConfigurationError("d must be >= 1")
+        self.d = d
+        self._balancer: Optional["LoadBalancer"] = None
+        self._idle: deque[BalancerMember] = deque()
+        self._idle_set: set[int] = set()
+
+    def attach(self, balancer: "LoadBalancer") -> None:
+        self._balancer = balancer
+        for member in balancer.members:
+            self.on_member_added(member)
+
+    def _enqueue(self, member: BalancerMember) -> None:
+        if (member.index not in self._idle_set
+                and member.inflight == 0
+                and member.state is MemberState.AVAILABLE):
+            self._idle_set.add(member.index)
+            self._idle.append(member)
+
+    def select(self, eligible: Sequence[BalancerMember],
+               rng: np.random.Generator,
+               request: Optional[Request] = None) -> BalancerMember:
+        member = self._pop_idle(eligible)
+        if member is not None:
+            return member
+        return self._sample(eligible, rng)
+
+    def _pop_idle(self,
+                  eligible: Sequence[BalancerMember]
+                  ) -> Optional[BalancerMember]:
+        idle, idle_set = self._idle, self._idle_set
+        # On the balancer's all-available fast path ``eligible`` is the
+        # full member list, so queue membership implies eligibility and
+        # the containment scan (the O(N) the queue exists to avoid) is
+        # skipped.
+        full = (self._balancer is not None
+                and len(eligible) == len(self._balancer.members))
+        requeue: list[BalancerMember] = []
+        found = None
+        while idle:
+            member = idle.popleft()
+            if member.index not in idle_set:
+                continue  # lazily removed by on_pick
+            if (member.inflight > 0
+                    or member.state is not MemberState.AVAILABLE):
+                idle_set.discard(member.index)
+                continue
+            if full or member in eligible:
+                idle_set.discard(member.index)
+                found = member
+                break
+            requeue.append(member)  # idle but filtered out right now
+        for member in reversed(requeue):
+            idle.appendleft(member)
+        return found
+
+    def _sample(self, eligible: Sequence[BalancerMember],
+                rng: np.random.Generator) -> BalancerMember:
+        n = len(eligible)
+        if n <= self.d:
+            return min(eligible, key=lambda m: (m.inflight, m.index))
+        best = eligible[int(rng.integers(n))]
+        for _ in range(self.d - 1):
+            other = eligible[int(rng.integers(n))]
+            if (other.inflight, other.index) < (best.inflight, best.index):
+                best = other
+        return best
+
+    # -- lifecycle hooks ---------------------------------------------------
+    def on_pick(self, member: BalancerMember, request: Request) -> None:
+        # The member is about to receive a request; lazy-remove it so
+        # concurrent workers cannot double-claim the same idle slot.
+        self._idle_set.discard(member.index)
+
+    def on_pick_abandoned(self, member: BalancerMember,
+                          request: Request) -> None:
+        self._enqueue(member)
+
+    def on_complete(self, member: BalancerMember, request: Request) -> None:
+        self._enqueue(member)
+
+    def on_member_state(self, member: BalancerMember) -> None:
+        if member.state is MemberState.AVAILABLE:
+            self._enqueue(member)
+        else:
+            self._idle_set.discard(member.index)
+
+    def on_member_added(self, member: BalancerMember) -> None:
+        self._enqueue(member)
+
+    def on_member_removed(self, member: BalancerMember) -> None:
+        self._idle_set.discard(member.index)
+
+
+class WeightedLeastConnPolicy(Policy):
+    """HAProxy-style least connections with static member weights.
+
+    Rank by ``(inflight + 1) / weight``: a weight-2 member absorbs two
+    in-flight requests before it looks as loaded as a weight-1 member
+    with one.  Weights come from ``TierSpec.weights`` (via the
+    balancer); members default to 1.0, in which case this is plain
+    least-connections.  Like ``current_load`` it reads instantaneous
+    state, so a stalled member's rising in-flight count pushes it down
+    the ranking instead of anchoring it at the top.
+    """
+
+    name = "weighted_least_conn"
+    cumulative = False
+
+    def select(self, eligible: Sequence[BalancerMember],
+               rng: np.random.Generator,
+               request: Optional[Request] = None) -> BalancerMember:
+        return min(eligible, key=lambda m: (
+            (m.inflight + 1) / m.weight, m.index))
+
+
+@dataclass(frozen=True)
+class StickyConfig:
+    """Session-affinity knobs: which policy places unpinned sessions."""
+
+    fallback: str = "current_load"
+
+    def __post_init__(self) -> None:
+        if self.fallback == "sticky":
+            raise ConfigurationError(
+                "sticky cannot fall back to itself")
+
+
+def _sticky_config(affinity) -> StickyConfig:
+    if isinstance(affinity, StickyConfig):
+        return affinity
+    if isinstance(affinity, dict):
+        try:
+            return StickyConfig(**affinity)
+        except TypeError as err:
+            raise ConfigurationError(
+                "bad affinity configuration: {}".format(err)) from None
+    raise ConfigurationError(
+        "affinity configuration must be a StickyConfig or a mapping, "
+        "got {!r}".format(affinity))
+
+
+class StickySessionPolicy(Policy):
+    """Session-key affinity with failover re-pinning.
+
+    Every client's first request is placed by the fallback policy and
+    pins the client to the chosen member; later requests return to the
+    pinned member whenever it is eligible.  When it is not — Busy
+    window, Error ejection, retirement — the request *fails over*: the
+    fallback places it, the client re-pins to the new member, and
+    :attr:`violations` counts the broken promise.  That counter is the
+    other side of the affinity trade (delay vs. stickiness violations):
+    under millibottlenecks, affinity keeps sending a pinned client into
+    its stalled member until the 3-state machine finally blocks it.
+    """
+
+    name = "sticky"
+    cumulative = False
+
+    def __init__(self, config: Optional[StickyConfig] = None) -> None:
+        self.config = config or StickyConfig()
+        self._fallback = make_policy(self.config.fallback)
+        #: client_id -> pinned member.
+        self._pins: dict[int, BalancerMember] = {}
+        self.violations = 0
+
+    def configure(self, probe=None, affinity=None) -> None:
+        if probe is not None:
+            raise ConfigurationError(
+                "policy 'sticky' takes no probe configuration")
+        if affinity is not None:
+            self.config = _sticky_config(affinity)
+            self._fallback = make_policy(self.config.fallback)
+
+    def select(self, eligible: Sequence[BalancerMember],
+               rng: np.random.Generator,
+               request: Optional[Request] = None) -> BalancerMember:
+        if request is None:
+            return self._fallback.select(eligible, rng)
+        pinned = self._pins.get(request.client_id)
+        if pinned is not None:
+            for member in eligible:
+                if member is pinned:
+                    return pinned
+            # The pinned member is out of rotation (or ineligible this
+            # instant): stickiness is violated and the session moves.
+            self.violations += 1
+        member = self._fallback.select(eligible, rng, request)
+        self._pins[request.client_id] = member
+        return member
+
+    # -- delegate lifecycle to the placing policy --------------------------
+    def attach(self, balancer: "LoadBalancer") -> None:
+        self._fallback.attach(balancer)
+
+    def on_pick(self, member: BalancerMember, request: Request) -> None:
+        self._fallback.on_pick(member, request)
+
+    def on_pick_abandoned(self, member: BalancerMember,
+                          request: Request) -> None:
+        self._fallback.on_pick_abandoned(member, request)
+
+    def on_dispatch(self, member: BalancerMember, request: Request) -> None:
+        self._fallback.on_dispatch(member, request)
+
+    def on_complete(self, member: BalancerMember, request: Request) -> None:
+        self._fallback.on_complete(member, request)
+
+    def on_member_state(self, member: BalancerMember) -> None:
+        self._fallback.on_member_state(member)
+
+    def on_member_added(self, member: BalancerMember) -> None:
+        self._fallback.on_member_added(member)
+
+    def on_member_removed(self, member: BalancerMember) -> None:
+        # Keep stale pins: the next request from a pinned client finds
+        # its member gone, records the violation, and re-pins — silent
+        # unpinning would undercount exactly the failovers the metric
+        # exists to expose.
+        self._fallback.on_member_removed(member)
+
+
 #: Policy registry for scenario lookups.
 POLICIES: dict[str, type] = {
     cls.name: cls for cls in [
@@ -273,6 +818,10 @@ POLICIES: dict[str, type] = {
         TwoChoicesPolicy,
         PowerOfDPolicy,
         EwmaLatencyPolicy,
+        PrequalPolicy,
+        JoinIdleQueuePolicy,
+        WeightedLeastConnPolicy,
+        StickySessionPolicy,
     ]
 }
 

@@ -78,8 +78,45 @@ TABLE1_BUNDLES: tuple[RemedyBundle, ...] = (
     ),
 )
 
+#: The modern-policy zoo, each paired with the *original* mechanism so
+#: the rematch isolates the policy level: whatever a modern policy buys
+#: against millibottlenecks, it buys without the paper's §V-C
+#: mechanism fix.
+MODERN_BUNDLES: tuple[RemedyBundle, ...] = (
+    RemedyBundle(
+        key="prequal",
+        policy_name="prequal",
+        mechanism_name="original",
+        description="Prequal probing (hot/cold RIF+latency)",
+    ),
+    RemedyBundle(
+        key="jsq_d",
+        policy_name="jsq_d",
+        mechanism_name="original",
+        description="JSQ(d) power-of-d sampling",
+    ),
+    RemedyBundle(
+        key="jiq",
+        policy_name="jiq",
+        mechanism_name="original",
+        description="Join-idle-queue",
+    ),
+    RemedyBundle(
+        key="weighted_least_conn",
+        policy_name="weighted_least_conn",
+        mechanism_name="original",
+        description="Weighted least-connections",
+    ),
+    RemedyBundle(
+        key="sticky",
+        policy_name="sticky",
+        mechanism_name="original",
+        description="Sticky sessions (current_load fallback)",
+    ),
+)
+
 BUNDLES: dict[str, RemedyBundle] = {
-    bundle.key: bundle for bundle in TABLE1_BUNDLES
+    bundle.key: bundle for bundle in TABLE1_BUNDLES + MODERN_BUNDLES
 }
 
 

@@ -84,6 +84,10 @@ class ExperimentSummary:
     #: VLRT count per sample window (time-to-recover input); ``None``
     #: on summaries pickled by older code.
     vlrt_series: Optional[TimeSeries] = None
+    #: Modern-policy counters (zero unless the run's balancers probe
+    #: or pin sessions).
+    probe_messages_count: int = 0
+    sticky_violations_count: int = 0
 
     # -- ExperimentResult reporting surface (duck-typed) -----------------
     def stats(self) -> ResponseTimeStats:
@@ -117,6 +121,14 @@ class ExperimentSummary:
         if self.vlrt_series is None:
             return TimeSeries.from_arrays([], [], name="vlrt")
         return self.vlrt_series
+
+    def probe_messages(self) -> int:
+        """Probe messages sent by probing policies (Prequal's pool)."""
+        return self.probe_messages_count
+
+    def sticky_violations(self) -> int:
+        """Broken affinity promises recorded by sticky-session policies."""
+        return self.sticky_violations_count
 
     def availability(self) -> float:
         """Successful client-visible outcomes / all client-visible outcomes."""
@@ -182,6 +194,8 @@ def summarize(result: ExperimentResult) -> ExperimentSummary:
         fault_count=fault_count,
         sheds_count=result.sheds(),
         vlrt_series=result.vlrt_windows(),
+        probe_messages_count=result.probe_messages(),
+        sticky_violations_count=result.sticky_violations(),
     )
 
 

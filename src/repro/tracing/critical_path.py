@@ -49,6 +49,10 @@ BUCKET_OF_SPAN: dict[str, str] = {
     # it intentionally introduces.
     "admission.queue_wait": "controlplane.wait",
     "bulkhead.queue_wait": "controlplane.wait",
+    # Balancer-initiated probe traffic (Prequal's async probe pool):
+    # measurement overhead, never a VLRT cause — an explicit entry so
+    # no suffix rule can ever attribute it as queue wait.
+    "prequal.probe": "probe.wait",
 }
 
 #: Buckets that are queue wait somewhere in the stack.  The balancer's

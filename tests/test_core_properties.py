@@ -1,5 +1,7 @@
 """Property-based tests for the balancer core and network layer."""
 
+from types import SimpleNamespace
+
 import numpy as np
 import pytest
 from hypothesis import given, settings
@@ -7,11 +9,15 @@ from hypothesis import strategies as st
 
 from repro.core import (
     CurrentLoadPolicy,
+    JoinIdleQueuePolicy,
+    PrequalPolicy,
     RandomPolicy,
     RoundRobinPolicy,
+    StickySessionPolicy,
     TotalRequestPolicy,
     TotalTrafficPolicy,
     TwoChoicesPolicy,
+    WeightedLeastConnPolicy,
 )
 from repro.core.member import BalancerMember
 from repro.metrics import CompletedRequest, ResponseTimeRecorder
@@ -43,6 +49,8 @@ def fresh_request(env, i=0):
 policy_factories = st.sampled_from([
     TotalRequestPolicy, TotalTrafficPolicy, CurrentLoadPolicy,
     RoundRobinPolicy, RandomPolicy, TwoChoicesPolicy,
+    PrequalPolicy, JoinIdleQueuePolicy, WeightedLeastConnPolicy,
+    StickySessionPolicy,
 ])
 
 
@@ -143,6 +151,129 @@ def test_response_time_stats_consistency(samples):
     assert stats.p999 <= stats.max + 1e-12
     assert stats.vlrt_fraction == pytest.approx(
         stats.vlrt_count / stats.count)
+
+
+# -- the modern-policy zoo ---------------------------------------------------
+
+@given(st.lists(st.integers(min_value=0, max_value=3),
+                min_size=1, max_size=200),
+       st.integers(min_value=0, max_value=2 ** 31))
+@settings(max_examples=60)
+def test_jiq_never_picks_busy_while_an_idle_member_exists(ops, seed):
+    """JIQ's defining invariant: as long as some member is idle (zero
+    in flight), a pick never lands on a busy one."""
+    env, members = build_members()
+    policy = JoinIdleQueuePolicy()
+    for member in members:
+        policy.on_member_added(member)
+    rng = np.random.default_rng(seed)
+    outstanding = []
+    for op in ops:
+        if op in (0, 1):  # pick and dispatch
+            member = policy.select(members, rng)
+            if any(m.inflight == 0 for m in members):
+                assert member.inflight == 0
+            request = fresh_request(env)
+            request.dispatched_at = 0.0
+            policy.on_pick(member, request)
+            policy.on_dispatch(member, request)
+            member.inflight += 1
+            outstanding.append((member, request))
+        elif op == 2 and outstanding:  # complete oldest
+            member, request = outstanding.pop(0)
+            member.inflight -= 1
+            policy.on_complete(member, request)
+        elif op == 3 and outstanding:  # abandon newest
+            member, request = outstanding.pop()
+            member.inflight -= 1
+            policy.on_pick_abandoned(member, request)
+
+
+@given(st.lists(st.tuples(
+    st.integers(min_value=0, max_value=50),
+    st.floats(min_value=0, max_value=5, allow_nan=False)),
+    min_size=1, max_size=16))
+@settings(max_examples=80)
+def test_prequal_rank_is_a_total_order_respecting_hot_cold(entries):
+    """rank_key induces a strict total order in which every cold member
+    (RIF at or below the hot-quantile threshold) precedes every hot
+    member; cold sorts by latency, hot by RIF."""
+    policy = PrequalPolicy()
+    rifs = sorted(rif for rif, _ in entries)
+    threshold = rifs[int(policy.config.hot_quantile * (len(rifs) - 1))]
+    keyed = [(policy.rank_key(SimpleNamespace(index=i), rif, latency,
+                              threshold), i, rif, latency)
+             for i, (rif, latency) in enumerate(entries)]
+    keys = [key for key, _, _, _ in keyed]
+    assert len(set(keys)) == len(keys)  # strict: index breaks all ties
+    ranked = sorted(keyed)
+    cold = [(i, rif, lat) for _, i, rif, lat in ranked
+            if rif <= threshold]
+    hot = [(i, rif, lat) for _, i, rif, lat in ranked if rif > threshold]
+    assert cold  # the minimum RIF is never above the quantile threshold
+    # Every cold member outranks every hot member.
+    assert [i for _, i, rif, _ in ranked if rif <= threshold] \
+        == [i for i, _, _ in cold]
+    assert ranked[:len(cold)] == [
+        (policy.rank_key(SimpleNamespace(index=i), rif, lat, threshold),
+         i, rif, lat) for i, rif, lat in cold]
+    # Cold order is by probed latency; hot order is by probed RIF.
+    assert cold == sorted(cold, key=lambda e: (e[2], e[1], e[0]))
+    assert hot == sorted(hot, key=lambda e: (e[1], e[2], e[0]))
+
+
+@given(st.lists(st.tuples(st.integers(min_value=0, max_value=2),
+                          st.integers(min_value=0, max_value=3)),
+                min_size=1, max_size=120),
+       st.integers(min_value=0, max_value=2 ** 31))
+@settings(max_examples=60)
+def test_sticky_violations_fire_exactly_when_the_pin_is_ineligible(
+        requests, seed):
+    """The violation counter increments iff a pinned client's member is
+    missing from the eligible list — and an eligible pin is honoured."""
+    env, members = build_members()
+    policy = StickySessionPolicy()
+    rng = np.random.default_rng(seed)
+    subsets = [members, members[:2], members[2:], members[1:]]
+    pins = {}
+    for serial, (client, subset_choice) in enumerate(requests):
+        eligible = subsets[subset_choice]
+        request = Request(env, serial, get_interaction("ViewStory"),
+                          client)
+        before = policy.violations
+        member = policy.select(eligible, rng, request)
+        assert member in eligible
+        pinned = pins.get(client)
+        if pinned is not None and pinned in eligible:
+            assert member is pinned
+            assert policy.violations == before
+        elif pinned is not None:
+            assert policy.violations == before + 1
+        else:
+            assert policy.violations == before
+        pins[client] = member
+
+
+@given(st.lists(st.integers(min_value=1, max_value=4),
+                min_size=2, max_size=4),
+       st.integers(min_value=1, max_value=120))
+@settings(max_examples=60)
+def test_weighted_least_conn_keeps_loads_proportional_to_weights(
+        weights, picks):
+    """Greedy (inflight+1)/weight selection keeps every pair of members
+    within one slot of perfect weight proportionality."""
+    env, members = build_members(len(weights))
+    for member, weight in zip(members, weights):
+        member.weight = float(weight)
+    policy = WeightedLeastConnPolicy()
+    rng = np.random.default_rng(1)
+    for _ in range(picks):
+        member = policy.select(members, rng)
+        member.inflight += 1
+    for a in members:
+        for b in members:
+            assert (a.inflight / a.weight - b.inflight / b.weight
+                    <= 1.0 / b.weight + 1e-9)
 
 
 @given(st.lists(st.tuples(

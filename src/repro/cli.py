@@ -173,8 +173,24 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
         duration=args.duration,
         seed=args.seed,
         profile=ScaleProfile() if args.full_scale else ScaleProfile.smoke(),
+        topology=(_load_topology(args.topology)
+                  if args.topology else None),
     )
     report = suite.run(workers=args.workers)
+    print(report.render())
+    return 0
+
+
+def _cmd_geo(args: argparse.Namespace) -> int:
+    from repro.cluster.geo import GeoSuite
+
+    suite = GeoSuite(
+        fault_keys=_split(args.faults) if args.faults else None,
+        duration=args.duration,
+        seed=args.seed,
+        clients=args.clients,
+    )
+    report = suite.run()
     print(report.render())
     return 0
 
@@ -439,7 +455,26 @@ def build_parser() -> argparse.ArgumentParser:
     chaos.add_argument("--full-scale", action="store_true",
                        help="use the paper-scale profile instead of the "
                             "fast smoke profile")
+    chaos.add_argument("--topology", default=None, metavar="REF",
+                       help="builtin name or spec file to run the cells "
+                            "against (required for zone faults; default: "
+                            "the classic 3-tier build)")
     chaos.set_defaults(func=_cmd_chaos)
+
+    geo = sub.add_parser(
+        "geo",
+        help="run the geo headline grid: {hierarchy, flat} x zone faults",
+        description="Cross the two-zone geo topologies (zone-local "
+                    "balancer hierarchy vs one flat global balancer) "
+                    "with zone outage, WAN degradation and cache "
+                    "failover; report %VLRT, drops, spillovers, WAN "
+                    "retransmits and cache hit ratio per cell.")
+    geo.add_argument("--faults", default=None, metavar="KEYS",
+                     help="comma-separated geo fault keys (default: all)")
+    geo.add_argument("--duration", type=float, default=12.0)
+    geo.add_argument("--seed", type=int, default=42)
+    geo.add_argument("--clients", type=int, default=160)
+    geo.set_defaults(func=_cmd_geo)
 
     cp = sub.add_parser(
         "controlplane",

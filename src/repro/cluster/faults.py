@@ -21,7 +21,11 @@ every transient-vs-permanent shade the distinction has:
   window of each other (:class:`CorrelatedCrashFault`), as when a rack
   or dependency dies;
 * **recurring schedules** — crash or slow a server repeatedly on an
-  RNG-driven schedule (:class:`RecurringFault`), the chaos-monkey mode.
+  RNG-driven schedule (:class:`RecurringFault`), the chaos-monkey mode;
+* **zone outages** — every replica placed in one availability zone
+  crashes together (:class:`ZoneOutageFault`), the geo-scale burst;
+* **WAN brown-outs** — a zone pair's links swap onto a degraded
+  latency/loss profile for a window (:class:`WanDegradationFault`).
 
 Every fault is declarative (a frozen, picklable spec naming its target
 server) so :class:`~repro.cluster.runner.ExperimentConfig` can carry a
@@ -41,7 +45,7 @@ from typing import TYPE_CHECKING, Optional, Union
 import numpy as np
 
 from repro.errors import ConfigurationError
-from repro.netmodel.sockets import Link, NetworkImpairment
+from repro.netmodel.sockets import Link, LinkProfile, NetworkImpairment
 from repro.tiers.base import TierServer
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -190,8 +194,48 @@ class RecurringFault:
                 + repr(self.kind))
 
 
+@dataclass(frozen=True)
+class ZoneOutageFault:
+    """Correlated crash of every replica placed in ``zone``.
+
+    The geo-scale analogue of :class:`CorrelatedCrashFault`: an
+    availability-zone outage takes down *all* servers whose
+    ``server.zone`` matches, across every tier at once, within
+    ``jitter`` seconds of ``at``.  Only meaningful against a zoned
+    topology — against a zone-free system it is a configuration error,
+    not a no-op.
+    """
+
+    zone: str
+    at: float
+    duration: Optional[float] = None
+    jitter: float = 0.1
+
+
+@dataclass(frozen=True)
+class WanDegradationFault:
+    """Swap the ``zone_a``/``zone_b`` WAN links onto a degraded profile.
+
+    Models a brown-out of the inter-zone backbone: for the window every
+    link whose ``zone_pair`` matches carries the degraded latency /
+    loss / RTO instead of its provisioned profile, then snaps back.
+    Spillover traffic routed around a zone fault pays these degraded
+    hops — the geo version of "the remedy path is itself impaired".
+    """
+
+    zone_a: str
+    zone_b: str
+    at: float
+    duration: float
+    latency: float = 0.25
+    jitter: float = 0.02
+    loss: float = 0.05
+    rto: float = 0.2
+
+
 FaultSpec = Union[CrashFault, SlowFault, PacketLossFault,
-                  LinkLatencyFault, CorrelatedCrashFault, RecurringFault]
+                  LinkLatencyFault, CorrelatedCrashFault, RecurringFault,
+                  ZoneOutageFault, WanDegradationFault]
 
 
 # -- the injector -----------------------------------------------------------
@@ -345,6 +389,36 @@ class FaultInjector:
         link.latency -= extra
         record.ended_at = self.env.now
 
+    def degrade_wan_at(self, link: Link, at: float, duration: float,
+                       profile: LinkProfile) -> None:
+        """Swap ``link`` onto ``profile`` for a window, then restore."""
+        if at < self.env.now:
+            raise ConfigurationError("cannot schedule a fault in the past")
+        if duration <= 0:
+            raise ConfigurationError("duration must be positive")
+        if link.profile is None:
+            raise ConfigurationError(
+                "link {} has no WAN profile to degrade".format(link.name))
+        self.env.process(
+            self._run_wan_degradation(link, at, duration, profile))
+
+    def _run_wan_degradation(self, link: Link, at: float, duration: float,
+                             profile: LinkProfile):
+        if at > self.env.now:
+            yield self.env.timeout(at - self.env.now)
+        record = NetworkFaultRecord(link.name, "wan", profile.latency,
+                                    self.env.now)
+        self.net_records.append(record)
+        healthy = link.profile
+        link.profile = profile
+        yield self.env.timeout(duration)
+        # Restoring the *provisioned* profile is the point: overlapping
+        # degradations of one link are rejected by scenario construction
+        # (one WanDegradationFault per pair), so no concurrent writer
+        # exists to clobber.
+        link.profile = healthy  # statan: ignore[RACE001]
+        record.ended_at = self.env.now
+
     # -- correlated bursts ------------------------------------------------
     def correlated_crash(self, servers, at: float,
                          duration: Optional[float] = None,
@@ -437,6 +511,27 @@ class FaultInjector:
             self.recurring(system.server_named(spec.server), spec.kind,
                            spec.mean_interval, spec.duration, spec.factor,
                            spec.start, spec.until)
+        elif isinstance(spec, ZoneOutageFault):
+            servers = system.servers_in_zone(spec.zone)
+            if not servers:
+                raise ConfigurationError(
+                    "no servers placed in zone " + repr(spec.zone)
+                    + " (zone faults need a zoned topology)")
+            self.correlated_crash(servers, spec.at, spec.duration,
+                                  spec.jitter)
+        elif isinstance(spec, WanDegradationFault):
+            pair = tuple(sorted((spec.zone_a, spec.zone_b)))
+            links = [link for link in system.wan_links
+                     if link.zone_pair == pair]
+            if not links:
+                raise ConfigurationError(
+                    "no WAN links between zones {!r} and {!r}".format(
+                        spec.zone_a, spec.zone_b))
+            degraded = LinkProfile(
+                latency=spec.latency, jitter=spec.jitter, loss=spec.loss,
+                rto=spec.rto, name="wan.degraded")
+            for link in links:
+                self.degrade_wan_at(link, spec.at, spec.duration, degraded)
         else:
             raise ConfigurationError(
                 "unknown fault spec: {!r}".format(spec))

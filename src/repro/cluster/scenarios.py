@@ -27,8 +27,11 @@ from repro.cluster.faults import (
     PacketLossFault,
     RecurringFault,
     SlowFault,
+    WanDegradationFault,
+    ZoneOutageFault,
 )
 from repro.cluster.runner import ExperimentConfig
+from repro.cluster.spec import TopologySpec
 from repro.controlplane import CONTROLPLANE_BUNDLES, ControlPlaneConfig
 from repro.core.remedies import BUNDLES, MODERN_BUNDLES, TABLE1_BUNDLES
 from repro.errors import ConfigurationError
@@ -152,7 +155,19 @@ FAULT_SCENARIOS: dict[str, Callable[[float], tuple[FaultSpec, ...]]] = {
     "recurring_slow": lambda d: (
         RecurringFault("tomcat1", kind="slow", mean_interval=0.12 * d,
                        duration=0.04 * d, factor=6.0),),
+    "zone_outage": lambda d: (
+        ZoneOutageFault("east", at=0.25 * d, duration=0.3 * d,
+                        jitter=0.02 * d),),
+    "wan_degradation": lambda d: (
+        WanDegradationFault("east", "west", at=0.25 * d, duration=0.35 * d,
+                            latency=0.25, loss=0.05),),
 }
+
+#: Fault keys that only resolve against a zoned topology (their targets
+#: are zones and WAN links, which a classic flat build does not have).
+#: :class:`ChaosSuite` excludes them unless a topology is supplied.
+ZONE_FAULT_KEYS: frozenset[str] = frozenset(
+    {"zone_outage", "wan_degradation"})
 
 
 def fault_specs(key: str, duration: float) -> tuple[FaultSpec, ...]:
@@ -338,9 +353,11 @@ class ChaosSuite:
                  bundle_keys: Optional[Sequence[str]] = None,
                  duration: float = CHAOS_DURATION,
                  seed: int = 42,
-                 profile: Optional[ScaleProfile] = None) -> None:
-        self.fault_keys = list(fault_keys if fault_keys is not None
-                               else sorted(FAULT_SCENARIOS))
+                 profile: Optional[ScaleProfile] = None,
+                 topology: Optional[TopologySpec] = None) -> None:
+        self.fault_keys = list(
+            fault_keys if fault_keys is not None
+            else sorted(set(FAULT_SCENARIOS) - ZONE_FAULT_KEYS))
         self.remedy_keys = list(remedy_keys if remedy_keys is not None
                                 else ("none", "full"))
         self.bundle_keys = list(bundle_keys if bundle_keys is not None
@@ -350,6 +367,11 @@ class ChaosSuite:
             if key not in FAULT_SCENARIOS:
                 raise ConfigurationError(
                     "unknown fault scenario {!r}".format(key))
+            if key in ZONE_FAULT_KEYS and (
+                    topology is None or not topology.zones):
+                raise ConfigurationError(
+                    "fault scenario {!r} targets zones; pass a zoned "
+                    "topology to the suite".format(key))
         for key in self.remedy_keys:
             resolve_remedy(key)
         for key in self.bundle_keys:
@@ -361,6 +383,7 @@ class ChaosSuite:
         self.duration = duration
         self.seed = seed
         self.profile = profile or ScaleProfile.smoke()
+        self.topology = topology
 
     def cells(self) -> tuple[ChaosCell, ...]:
         """The grid, fault-major, in deterministic order."""
@@ -384,6 +407,7 @@ class ChaosSuite:
                             faults=specs,
                             resilience=resilience,
                             controlplane=controlplane,
+                            topology=self.topology,
                         )))
         return tuple(cells)
 

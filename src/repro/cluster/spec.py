@@ -33,14 +33,15 @@ from repro.controlplane.bulkhead import BulkheadConfig
 from repro.controlplane.leveling import LevelingConfig
 from repro.core.policies import PrequalProbeConfig, StickyConfig
 from repro.errors import ConfigurationError
+from repro.netmodel.sockets import LinkProfile
 from repro.osmodel.profiles import MillibottleneckProfile
 
 #: The service models a tier can be configured with (see
-#: :mod:`repro.tiers.base`).
-SERVICE_MODELS = ("frontend", "worker", "pooled")
+#: :mod:`repro.tiers.base`, :mod:`repro.tiers.cache`).
+SERVICE_MODELS = ("frontend", "worker", "pooled", "cache")
 
 #: How requests cross a tier boundary.
-BOUNDARY_MODES = ("balanced", "direct", "inline")
+BOUNDARY_MODES = ("balanced", "direct", "inline", "sharded")
 
 #: Default CPU-demand attribute of :class:`~repro.workload.interactions.
 #: Interaction` per service model.
@@ -48,6 +49,9 @@ DEFAULT_CPU_SOURCE = {
     "frontend": "apache_cpu",
     "worker": "tomcat_cpu",
     "pooled": "mysql_cpu",
+    # A cache burns app-tier-shaped CPU: its misses do the same work a
+    # worker would, its hits a configured fraction of it.
+    "cache": "tomcat_cpu",
 }
 
 
@@ -101,6 +105,159 @@ class FlushSpec:
 
 
 @dataclass(frozen=True)
+class LinkProfileSpec:
+    """Declarative network-path behaviour (see runtime
+    :class:`~repro.netmodel.sockets.LinkProfile`).
+
+    ``latency`` is the one-way propagation delay; ``jitter`` adds a
+    uniform [0, jitter) draw per traversal; ``loss`` is the per-frame
+    loss probability (each loss costs one link-layer retransmission
+    clocked by ``rto``); ``bandwidth`` (bytes/s) adds serialization
+    delay when set.
+    """
+
+    latency: float = 0.03
+    jitter: float = 0.0
+    loss: float = 0.0
+    bandwidth: Optional[float] = None
+    rto: float = 0.2
+
+    def __post_init__(self) -> None:
+        _require(self.latency >= 0, "link latency must be >= 0")
+        _require(self.jitter >= 0, "link jitter must be >= 0")
+        _require(0.0 <= self.loss < 1.0, "link loss must be in [0, 1)")
+        if self.bandwidth is not None:
+            _require(self.bandwidth > 0, "link bandwidth must be positive")
+        _require(self.rto > 0, "link rto must be positive")
+
+    def runtime(self, name: str = "wan") -> LinkProfile:
+        """The runtime :class:`LinkProfile` this spec describes."""
+        return LinkProfile(latency=self.latency, jitter=self.jitter,
+                           loss=self.loss, bandwidth=self.bandwidth,
+                           rto=self.rto, name=name)
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "LinkProfileSpec":
+        return _from_mapping(cls, data, "link profile")
+
+
+@dataclass(frozen=True)
+class ZoneSpec:
+    """One availability zone replicas can be placed in.
+
+    ``link`` is the zone's *default* WAN profile: any cross-zone hop
+    touching this zone without a more specific
+    :class:`ZoneLinkSpec`/boundary override pays it.
+    """
+
+    name: str
+    link: Optional[LinkProfileSpec] = None
+
+    def __post_init__(self) -> None:
+        _require(bool(self.name) and isinstance(self.name, str),
+                 "zone name must be a non-empty string")
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "ZoneSpec":
+        data = dict(data) if isinstance(data, dict) else data
+        if isinstance(data, dict) and isinstance(data.get("link"), dict):
+            data["link"] = LinkProfileSpec.from_dict(data["link"])
+        return _from_mapping(cls, data, "zone")
+
+
+@dataclass(frozen=True)
+class ZoneLinkSpec:
+    """WAN profile of one specific (unordered) zone pair."""
+
+    zones: tuple[str, str]
+    link: LinkProfileSpec
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "zones", tuple(self.zones))
+        _require(len(self.zones) == 2,
+                 "zone link needs exactly two zone names, got {!r}".format(
+                     self.zones))
+        _require(self.zones[0] != self.zones[1],
+                 "zone link {!r} connects a zone to itself".format(
+                     self.zones[0]))
+        _require(isinstance(self.link, LinkProfileSpec),
+                 "zone link needs a link profile")
+
+    @property
+    def pair(self) -> tuple[str, str]:
+        """Order-independent key of the pair."""
+        return tuple(sorted(self.zones))
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "ZoneLinkSpec":
+        data = dict(data) if isinstance(data, dict) else data
+        if isinstance(data, dict):
+            if isinstance(data.get("zones"), list):
+                data["zones"] = tuple(data["zones"])
+            if isinstance(data.get("link"), dict):
+                data["link"] = LinkProfileSpec.from_dict(data["link"])
+        return _from_mapping(cls, data, "zone link")
+
+
+@dataclass(frozen=True)
+class CacheSpec:
+    """Behaviour of a cache-aside tier (service model ``cache``).
+
+    The effective hit ratio is ``hit_ratio * ttl / (ttl + churn)``
+    scaled by a cold-start warm-up curve ``1 - exp(-(now - warm_start)
+    / warmup)``: ``churn`` is the mean re-reference interval of an
+    entry (longer TTLs keep more of them fresh — hit ratio is
+    monotone in ``ttl``), and a crashed-then-recovered cache restarts
+    the warm-up clock, which is exactly the failover instability the
+    geo experiment measures.
+    """
+
+    hit_ratio: float = 0.8
+    ttl: float = 60.0
+    churn: float = 30.0
+    warmup: float = 5.0
+    hit_cpu_fraction: float = 0.1
+
+    def __post_init__(self) -> None:
+        _require(0.0 <= self.hit_ratio <= 1.0,
+                 "cache hit_ratio must be in [0, 1]")
+        _require(self.ttl > 0, "cache ttl must be positive")
+        _require(self.churn >= 0, "cache churn must be >= 0")
+        _require(self.warmup >= 0, "cache warmup must be >= 0")
+        _require(0.0 < self.hit_cpu_fraction <= 1.0,
+                 "cache hit_cpu_fraction must be in (0, 1]")
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "CacheSpec":
+        return _from_mapping(cls, data, "cache")
+
+
+@dataclass(frozen=True)
+class ShardSpec:
+    """Key-sharded fan-out over a pooled tier (boundary ``sharded``).
+
+    A consistent-hash ring with ``virtual_nodes`` vnodes per replica
+    routes each request's key (drawn from a ``key_space``-sized
+    population, Zipf-skewed by ``skew``; 0 = uniform) to its owner
+    shard; retire/join moves only ~1/N of the key space.
+    """
+
+    virtual_nodes: int = 64
+    key_space: int = 1024
+    skew: float = 0.0
+
+    def __post_init__(self) -> None:
+        _require(self.virtual_nodes >= 1,
+                 "shard virtual_nodes must be >= 1")
+        _require(self.key_space >= 1, "shard key_space must be >= 1")
+        _require(self.skew >= 0, "shard skew must be >= 0")
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "ShardSpec":
+        return _from_mapping(cls, data, "shard")
+
+
+@dataclass(frozen=True)
 class TierSpec:
     """One tier of the chain.
 
@@ -134,10 +291,20 @@ class TierSpec:
     #: upstream ``weighted_least_conn`` balancers (members scaled in
     #: later default to weight 1.0).
     weights: Optional[tuple[float, ...]] = None
+    #: Replica -> zone assignment: one zone name per replica.  ``None``
+    #: round-robins replicas across the topology's zones (when any are
+    #: declared); zone names are checked against
+    #: :attr:`TopologySpec.zones` at topology level.
+    placement: Optional[tuple[str, ...]] = None
+    #: Cache behaviour; only meaningful (and only allowed) on
+    #: ``service="cache"`` tiers, which default it when omitted.
+    cache: Optional[CacheSpec] = None
 
     def __post_init__(self) -> None:
         if self.weights is not None:
             object.__setattr__(self, "weights", tuple(self.weights))
+        if self.placement is not None:
+            object.__setattr__(self, "placement", tuple(self.placement))
         _require(bool(self.name) and isinstance(self.name, str),
                  "tier name must be a non-empty string")
         _require(self.service in SERVICE_MODELS,
@@ -184,10 +351,31 @@ class TierSpec:
                          self.name, self.replicas,
                          self.autoscaler.min_replicas,
                          self.autoscaler.max_replicas))
+        if self.placement is not None:
+            _require(len(self.placement) == self.replicas,
+                     "tier {!r}: placement names {} zone(s) for {} "
+                     "replica(s) — need exactly one per replica".format(
+                         self.name, len(self.placement), self.replicas))
+            _require(all(isinstance(z, str) and z for z in self.placement),
+                     "tier {!r}: placement entries must be non-empty "
+                     "zone names".format(self.name))
+            _require(self.autoscaler is None,
+                     "tier {!r}: explicit placement and autoscaling "
+                     "conflict — scaled-in replicas have no zone".format(
+                         self.name))
+        if self.cache is not None:
+            _require(self.service == "cache",
+                     "tier {!r}: cache tuning belongs on a 'cache' "
+                     "tier, not {!r}".format(self.name, self.service))
 
     @property
     def effective_cpu_source(self) -> str:
         return self.cpu_source or DEFAULT_CPU_SOURCE[self.service]
+
+    @property
+    def effective_cache(self) -> CacheSpec:
+        """Cache behaviour with defaults applied (cache tiers only)."""
+        return self.cache or CacheSpec()
 
     @classmethod
     def from_dict(cls, data: dict) -> "TierSpec":
@@ -198,11 +386,14 @@ class TierSpec:
                                               "flush")
             for key, config_cls in (("admission", AdmissionConfig),
                                     ("bulkhead", BulkheadConfig),
-                                    ("autoscaler", AutoscalerConfig)):
+                                    ("autoscaler", AutoscalerConfig),
+                                    ("cache", CacheSpec)):
                 if isinstance(data.get(key), dict):
                     data[key] = _from_mapping(config_cls, data[key], key)
             if isinstance(data.get("weights"), list):
                 data["weights"] = tuple(data["weights"])
+            if isinstance(data.get("placement"), list):
+                data["placement"] = tuple(data["placement"])
         return _from_mapping(cls, data, "tier")
 
 
@@ -242,11 +433,38 @@ class BoundarySpec:
     #: Session-affinity tuning for ``sticky`` balancers; rejected by
     #: every other policy.
     affinity: Optional[StickyConfig] = None
+    #: WAN profile every cross-zone hop on this boundary pays,
+    #: overriding zone-pair/zone-default resolution.  In a zone-free
+    #: topology it applies to *every* hop on the boundary (a uniform
+    #: WAN boundary).  Inline boundaries have no network hop to
+    #: profile, so a link there is rejected.
+    link: Optional[LinkProfileSpec] = None
+    #: Grow a zone-local balancer per zone under a global
+    #: :class:`~repro.core.balancer.ZoneRouter` (locality-first with
+    #: cross-zone spillover) instead of one flat balancer over every
+    #: replica.  Requires ``balanced`` mode and declared zones.
+    hierarchy: bool = False
+    #: Consistent-hash sharding tuning; only meaningful on ``sharded``
+    #: boundaries (which default it when omitted).
+    shard: Optional[ShardSpec] = None
 
     def __post_init__(self) -> None:
         _require(self.mode in BOUNDARY_MODES,
                  "unknown boundary mode {!r} (one of {})".format(
                      self.mode, ", ".join(BOUNDARY_MODES)))
+        if self.mode == "inline":
+            _require(self.link is None,
+                     "inline boundaries take no link profile — an "
+                     "inline call never crosses the network")
+        if self.hierarchy:
+            _require(self.mode == "balanced",
+                     "boundary mode {!r} cannot build a zone "
+                     "hierarchy — only balanced boundaries grow "
+                     "zone-local balancers".format(self.mode))
+        if self.shard is not None:
+            _require(self.mode == "sharded",
+                     "shard tuning belongs on a 'sharded' boundary, "
+                     "not {!r}".format(self.mode))
         if self.pool_size is not None:
             _require(self.pool_size >= 1, "boundary pool_size must be >= 1")
         if self.bundle is not None:
@@ -282,13 +500,20 @@ class BoundarySpec:
                      "inline boundaries take no leveling queue — there "
                      "is no dispatcher to level")
 
+    @property
+    def effective_shard(self) -> ShardSpec:
+        """Shard tuning with defaults applied (sharded boundaries)."""
+        return self.shard or ShardSpec()
+
     @classmethod
     def from_dict(cls, data: dict) -> "BoundarySpec":
         data = dict(data) if isinstance(data, dict) else data
         if isinstance(data, dict):
             for key, config_cls in (("leveling", LevelingConfig),
                                     ("probe", PrequalProbeConfig),
-                                    ("affinity", StickyConfig)):
+                                    ("affinity", StickyConfig),
+                                    ("link", LinkProfileSpec),
+                                    ("shard", ShardSpec)):
                 if isinstance(data.get(key), dict):
                     data[key] = _from_mapping(config_cls, data[key], key)
         return _from_mapping(cls, data, "boundary")
@@ -320,11 +545,18 @@ class TopologySpec:
     tiers: tuple[TierSpec, ...]
     boundaries: tuple[BoundarySpec, ...]
     workload: WorkloadSpec = field(default_factory=WorkloadSpec)
+    #: Availability zones replicas can be placed in; empty = the
+    #: classic single-cluster world (zero behaviour change).
+    zones: tuple[ZoneSpec, ...] = ()
+    #: Per-zone-pair WAN overrides (more specific than zone defaults).
+    zone_links: tuple[ZoneLinkSpec, ...] = ()
 
     def __post_init__(self) -> None:
         # Tolerate lists from hand-built specs; store tuples.
         object.__setattr__(self, "tiers", tuple(self.tiers))
         object.__setattr__(self, "boundaries", tuple(self.boundaries))
+        object.__setattr__(self, "zones", tuple(self.zones))
+        object.__setattr__(self, "zone_links", tuple(self.zone_links))
         _require(bool(self.name), "topology name must be non-empty")
         _require(len(self.tiers) >= 2,
                  "topology {!r}: need at least two tiers, got {}".format(
@@ -350,10 +582,52 @@ class TopologySpec:
             _require(tier.service != "pooled",
                      "topology {!r}: pooled tier {!r} must be last — "
                      "it has no downstream".format(self.name, tier.name))
+        _require(self.tiers[-1].service != "cache",
+                 "topology {!r}: cache tier {!r} cannot be last — "
+                 "cache-aside needs a downstream to miss to".format(
+                     self.name, self.tiers[-1].name))
+        zone_names = [zone.name for zone in self.zones]
+        _require(len(set(zone_names)) == len(zone_names),
+                 "topology {!r}: duplicate zone names in {}".format(
+                     self.name, zone_names))
+        known_zones = set(zone_names)
+        seen_pairs = set()
+        for zone_link in self.zone_links:
+            for zone in zone_link.zones:
+                _require(zone in known_zones,
+                         "topology {!r}: zone link references unknown "
+                         "zone {!r} (declared: {})".format(
+                             self.name, zone,
+                             ", ".join(zone_names) or "none"))
+            _require(zone_link.pair not in seen_pairs,
+                     "topology {!r}: duplicate zone link for pair "
+                     "{}".format(self.name, zone_link.pair))
+            seen_pairs.add(zone_link.pair)
+        for tier in self.tiers:
+            if tier.placement is None:
+                continue
+            _require(bool(self.zones),
+                     "topology {!r}: tier {!r} has a placement but the "
+                     "topology declares no zones".format(
+                         self.name, tier.name))
+            for zone in tier.placement:
+                _require(zone in known_zones,
+                         "topology {!r}: tier {!r} placed in unknown "
+                         "zone {!r} (declared: {})".format(
+                             self.name, tier.name, zone,
+                             ", ".join(zone_names)))
         for depth, boundary in enumerate(self.boundaries):
             upstream, downstream = self.tiers[depth], self.tiers[depth + 1]
             where = "boundary {} ({} -> {})".format(
                 depth, upstream.name, downstream.name)
+            if boundary.hierarchy:
+                _require(bool(self.zones),
+                         "{}: a zone hierarchy needs declared "
+                         "zones".format(where))
+            if boundary.mode == "sharded":
+                _require(downstream.service == "pooled",
+                         "{}: sharded boundaries fan out over a pooled "
+                         "tier".format(where))
             if boundary.mode == "inline":
                 _require(upstream.service == "worker",
                          "{}: inline needs a worker upstream".format(where))
@@ -375,7 +649,8 @@ class TopologySpec:
             raise ConfigurationError(
                 "topology spec must be a mapping, got {!r}".format(data))
         unknown = sorted(
-            set(data) - {"name", "tiers", "boundaries", "workload"})
+            set(data) - {"name", "tiers", "boundaries", "workload",
+                         "zones", "zone_links"})
         if unknown:
             raise ConfigurationError(
                 "unknown topology field(s): " + ", ".join(unknown))
@@ -387,6 +662,12 @@ class TopologySpec:
             boundaries = [{} for _ in range(max(0, len(tiers) - 1))]
         if not isinstance(boundaries, (list, tuple)):
             raise ConfigurationError("topology boundaries must be a list")
+        zones = data.get("zones") or ()
+        if not isinstance(zones, (list, tuple)):
+            raise ConfigurationError("topology zones must be a list")
+        zone_links = data.get("zone_links") or ()
+        if not isinstance(zone_links, (list, tuple)):
+            raise ConfigurationError("topology zone_links must be a list")
         workload = data.get("workload")
         return cls(
             name=data.get("name", ""),
@@ -395,6 +676,9 @@ class TopologySpec:
                              for boundary in boundaries),
             workload=(WorkloadSpec.from_dict(workload)
                       if workload is not None else WorkloadSpec()),
+            zones=tuple(ZoneSpec.from_dict(zone) for zone in zones),
+            zone_links=tuple(ZoneLinkSpec.from_dict(zone_link)
+                             for zone_link in zone_links),
         )
 
     @classmethod
@@ -415,16 +699,29 @@ class TopologySpec:
         data = asdict(self)
         for tier in data["tiers"]:
             for key in ("flush", "disk_bandwidth", "cpu_source",
-                        "admission", "bulkhead", "autoscaler", "weights"):
+                        "admission", "bulkhead", "autoscaler", "weights",
+                        "placement", "cache"):
                 if tier[key] is None:
                     del tier[key]
             if "weights" in tier:
                 tier["weights"] = list(tier["weights"])
+            if "placement" in tier:
+                tier["placement"] = list(tier["placement"])
         for boundary in data["boundaries"]:
             for key in ("bundle", "pool_size", "resilience", "leveling",
-                        "probe", "affinity"):
+                        "probe", "affinity", "link", "shard"):
                 if boundary[key] is None:
                     del boundary[key]
+            if not boundary["hierarchy"]:
+                del boundary["hierarchy"]
+        for zone in data["zones"]:
+            if zone["link"] is None:
+                del zone["link"]
+        for zone_link in data["zone_links"]:
+            zone_link["zones"] = list(zone_link["zones"])
+        for key in ("zones", "zone_links"):
+            if not data[key]:
+                del data[key]
         return data
 
     def to_json(self, indent: int = 2) -> str:
@@ -457,6 +754,16 @@ class TopologySpec:
         """A compact human-readable rendering for ``topology show``."""
         lines = ["topology {!r}: {} tiers, {} clients".format(
             self.name, len(self.tiers), self.workload.clients)]
+        if self.zones:
+            parts = []
+            for zone in self.zones:
+                if zone.link is not None:
+                    parts.append("{} (wan {:.0f} ms, loss {:.2%})".format(
+                        zone.name, zone.link.latency * 1000,
+                        zone.link.loss))
+                else:
+                    parts.append(zone.name)
+            lines.append("  zones: " + ", ".join(parts))
         for depth, tier in enumerate(self.tiers):
             flush = (" flush(interval={}, threshold={:.0f})".format(
                 tier.flush.interval, tier.flush.threshold_bytes)
@@ -475,12 +782,27 @@ class TopologySpec:
             if tier.weights is not None:
                 extras += " weights({})".format(
                     ", ".join("{:g}".format(w) for w in tier.weights))
+            if tier.placement is not None:
+                extras += " @[{}]".format(", ".join(tier.placement))
+            if tier.service == "cache":
+                cache = tier.effective_cache
+                extras += " cache(hit={:.0%}, ttl={:g}s)".format(
+                    cache.hit_ratio, cache.ttl)
             lines.append("  [{}] {} x{} ({}, capacity={}){}{}".format(
                 depth, tier.name, tier.replicas, tier.service,
                 tier.capacity, flush, extras))
             if depth < len(self.boundaries):
                 boundary = self.boundaries[depth]
                 detail = boundary.mode
+                if boundary.hierarchy:
+                    detail += " hierarchy"
+                if boundary.mode == "sharded":
+                    shard = boundary.effective_shard
+                    detail += "(vnodes={}, skew={:g})".format(
+                        shard.virtual_nodes, shard.skew)
+                if boundary.link is not None:
+                    detail += " link({:.0f} ms, loss {:.2%})".format(
+                        boundary.link.latency * 1000, boundary.link.loss)
                 if boundary.bundle:
                     detail += " bundle=" + boundary.bundle
                 if boundary.resilience:
@@ -610,11 +932,62 @@ class TopologySpec:
         )
 
 
+    @classmethod
+    def geo(cls, hierarchy: bool = True,
+            disk_bandwidth: Optional[float] = None,
+            clients: int = 160) -> "TopologySpec":
+        """Two zones × the classic chain, plus a cache and a 2-shard DB.
+
+        ``east`` and ``west`` each host one replica of every tier;
+        the east-west WAN pays 40 ms with jitter and a little loss.
+        ``hierarchy=True`` grows zone-local balancers under a global
+        zone router at both balanced boundaries; ``False`` is the
+        flat single-global-balancer control cell.  ``disk_bandwidth``
+        starves the worker tier's disks (the millibottleneck knob the
+        headline zone-outage experiment turns on the surviving zone).
+        """
+        wan = LinkProfileSpec(latency=0.04, jitter=0.005, loss=0.002,
+                              rto=0.2)
+        return cls(
+            name="geo" if hierarchy else "geo_flat",
+            zones=(ZoneSpec(name="east"), ZoneSpec(name="west")),
+            zone_links=(ZoneLinkSpec(zones=("east", "west"), link=wan),),
+            tiers=(
+                TierSpec(name="apache", service="frontend", replicas=2,
+                         capacity=8, backlog=10,
+                         placement=("east", "west")),
+                TierSpec(name="tomcat", service="worker", replicas=2,
+                         capacity=8, disk_bandwidth=disk_bandwidth,
+                         flush=FlushSpec(threshold_bytes=64e3),
+                         placement=("east", "west")),
+                TierSpec(name="cache", service="cache", replicas=2,
+                         capacity=8, placement=("east", "west"),
+                         cache=CacheSpec(hit_ratio=0.8, ttl=60.0,
+                                         churn=30.0, warmup=5.0)),
+                TierSpec(name="mysql", service="pooled", replicas=2,
+                         capacity=12, placement=("east", "west")),
+            ),
+            boundaries=(
+                BoundarySpec(mode="balanced",
+                             bundle="current_load_modified",
+                             hierarchy=hierarchy),
+                BoundarySpec(mode="balanced", bundle="current_load",
+                             hierarchy=hierarchy),
+                BoundarySpec(mode="sharded",
+                             shard=ShardSpec(virtual_nodes=64,
+                                             key_space=1024, skew=0.9)),
+            ),
+            workload=WorkloadSpec(clients=clients),
+        )
+
+
 #: Built-in topologies addressable by name from the CLI.
 BUILTIN_TOPOLOGIES = {
     "classic": TopologySpec.classic,
     "replicated_db": TopologySpec.replicated_db,
     "four_tier": TopologySpec.four_tier,
+    "geo": TopologySpec.geo,
+    "geo_flat": lambda: TopologySpec.geo(hierarchy=False),
 }
 
 

@@ -22,13 +22,19 @@ from typing import TYPE_CHECKING, Callable, Optional
 import numpy as np
 
 from repro.cluster.config import ScaleProfile
-from repro.cluster.spec import TierSpec, TopologySpec
-from repro.core.balancer import BalancerConfig, DirectDispatcher, LoadBalancer
+from repro.cluster.spec import LinkProfileSpec, TierSpec, TopologySpec
+from repro.core.balancer import (
+    BalancerConfig,
+    DirectDispatcher,
+    LoadBalancer,
+    ZoneRouter,
+)
 from repro.core.mechanism import GetEndpointMechanism
 from repro.core.policies import Policy
 from repro.core.remedies import RemedyBundle, get_bundle
 from repro.core.states import StateConfig
 from repro.errors import ConfigurationError
+from repro.netmodel.sockets import Link
 from repro.osmodel.host import Host
 from repro.tiers.base import (
     DispatchDownstream,
@@ -38,6 +44,8 @@ from repro.tiers.base import (
     TierServer,
     WorkerTier,
 )
+from repro.tiers.cache import CacheTier
+from repro.tiers.shard import ShardRouter
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.controlplane.admission import TokenBucketAdmission
@@ -90,6 +98,12 @@ class NTierSystem:
     #: Dispatchers per boundary depth (boundary *d* feeds tier *d*+1);
     #: replicas added to tier *d*+1 join every dispatcher at depth *d*.
     dispatchers_by_depth: dict[int, list] = field(default_factory=dict)
+    #: Zone routers (one per upstream server of a hierarchy boundary).
+    zone_routers: list[ZoneRouter] = field(default_factory=list)
+    #: Shard routers (one per upstream server of a sharded boundary).
+    shard_routers: list[ShardRouter] = field(default_factory=list)
+    #: Every WAN-profiled link of the deployment, for fault targeting.
+    wan_links: list[Link] = field(default_factory=list)
     #: Per-tier replica builders captured by :func:`build_from_spec`;
     #: resolved through :func:`replica_factory_for`.
     _replica_factories: dict[str, Callable[[int], TierServer]] = field(
@@ -118,6 +132,19 @@ class NTierSystem:
                 return server
         raise ConfigurationError("no server named " + name)
 
+    # -- zones -------------------------------------------------------------
+    @property
+    def zone_names(self) -> tuple[str, ...]:
+        """Declared zones, in spec order (empty when zone-free)."""
+        if self.spec is None:
+            return ()
+        return tuple(zone.name for zone in self.spec.zones)
+
+    def servers_in_zone(self, zone: str) -> list[TierServer]:
+        """Every live server placed in ``zone``, tier order."""
+        return [server for server in self.servers
+                if getattr(server, "zone", None) == zone]
+
     # -- classic accessors -------------------------------------------------
     @property
     def apaches(self) -> list[TierServer]:
@@ -142,8 +169,11 @@ class NTierSystem:
         return sorted(records, key=lambda record: record.started_at)
 
     def total_dispatches(self) -> int:
+        # Zone routers delegate to their inner balancers (already in
+        # ``balancers``), so counting them too would double-count.
         return (sum(balancer.dispatches for balancer in self.balancers)
-                + sum(d.dispatches for d in self.direct_dispatchers))
+                + sum(d.dispatches for d in self.direct_dispatchers)
+                + sum(s.dispatches for s in self.shard_routers))
 
 
 # -- generic builder --------------------------------------------------------
@@ -199,20 +229,22 @@ def build_from_spec(
             # the classic construction (and hence event) order.
             for index in range(tier.replicas):
                 host = _make_host(env, tier, index)
-                servers.append(FrontendTier(
+                server = FrontendTier(
                     env, host.name, host,
                     max_clients=tier.capacity, backlog=tier.backlog,
                     role=tier.name,
-                    cpu_source=tier.effective_cpu_source))
+                    cpu_source=tier.effective_cpu_source)
+                server.zone = _zone_of(spec, tier, index)
+                servers.append(server)
             for server in servers:
                 server.attach_dispatcher(_make_dispatcher(
-                    env, system, server.name, boundary, downstream,
-                    depth, config, state_config, rng,
+                    env, system, server.name, server.zone, boundary,
+                    downstream, depth, config, state_config, rng,
                     policy_factory, mechanism_factory, resilience,
                     default_bundle))
             _wire_frontend_controlplane(env, system, tier, boundary,
                                         servers)
-        elif tier.service == "worker":
+        elif tier.service in ("worker", "cache"):
             make_replica = _worker_factory(
                 env, system, spec, depth, config, state_config, rng,
                 policy_factory, mechanism_factory, resilience,
@@ -255,22 +287,39 @@ def _worker_factory(env, system, spec, depth, config, state_config, rng,
 
     def make_replica(index: int) -> TierServer:
         host = _make_host(env, tier, index)
+        zone = _zone_of(spec, tier, index)
         if boundary is None:
             tier_downstream = None
         elif boundary.mode == "inline":
             tier_downstream = InlineDownstream(downstream[0])
         else:
             tier_downstream = DispatchDownstream(_make_dispatcher(
-                env, system, host.name, boundary, downstream,
+                env, system, host.name, zone, boundary, downstream,
                 depth, config, state_config, rng,
                 policy_factory, mechanism_factory, resilience,
                 default_bundle))
-        server = WorkerTier(
-            env, host.name, host,
-            max_threads=tier.capacity,
-            downstream=tier_downstream,
-            role=tier.name,
-            cpu_source=tier.effective_cpu_source)
+        if tier.service == "cache":
+            cache = tier.effective_cache
+            server = CacheTier(
+                env, host.name, host,
+                max_threads=tier.capacity,
+                rng=rng,
+                downstream=tier_downstream,
+                role=tier.name,
+                cpu_source=tier.effective_cpu_source,
+                hit_ratio=cache.hit_ratio,
+                ttl=cache.ttl,
+                churn=cache.churn,
+                warmup=cache.warmup,
+                hit_cpu_fraction=cache.hit_cpu_fraction)
+        else:
+            server = WorkerTier(
+                env, host.name, host,
+                max_threads=tier.capacity,
+                downstream=tier_downstream,
+                role=tier.name,
+                cpu_source=tier.effective_cpu_source)
+        server.zone = zone
         _join_tier(system, tier.name, depth, server)
         return server
 
@@ -289,6 +338,7 @@ def _pooled_factory(env, system, spec, depth):
             max_connections=tier.capacity,
             role=tier.name,
             cpu_source=tier.effective_cpu_source)
+        server.zone = _zone_of(spec, tier, index)
         if tier.bulkhead is not None:
             from repro.controlplane.bulkhead import Bulkhead
 
@@ -388,8 +438,89 @@ def retire_replica(system: NTierSystem, tier_name: str,
             if any(member.name == server.name
                    for member in dispatcher.members):
                 dispatcher.retire_member(server.name)
+        elif isinstance(dispatcher, ZoneRouter):
+            if any(member.name == server.name
+                   for balancer in dispatcher.zone_balancers.values()
+                   for member in balancer.members):
+                dispatcher.retire_member(server.name)
         elif server in dispatcher.backends:
             dispatcher.remove_backend(server)
+
+
+def _zone_of(spec: TopologySpec, tier: TierSpec,
+             index: int) -> Optional[str]:
+    """The zone of the ``index``-th replica of ``tier``.
+
+    Explicit placement wins; otherwise replicas round-robin across the
+    declared zones.  Zone-free topologies place nothing (``None``).
+    """
+    if tier.placement is not None:
+        return tier.placement[index]
+    if spec.zones:
+        return spec.zones[index % len(spec.zones)].name
+    return None
+
+
+def _wan_profile_between(spec: TopologySpec, zone_a: str,
+                         zone_b: str) -> LinkProfileSpec:
+    """Resolve the WAN profile of one cross-zone pair.
+
+    Most specific wins: an explicit :class:`ZoneLinkSpec` for the pair,
+    then either zone's default link (upstream side first), then the
+    built-in WAN default.
+    """
+    pair = tuple(sorted((zone_a, zone_b)))
+    for zone_link in spec.zone_links:
+        if zone_link.pair == pair:
+            return zone_link.link
+    for name in (zone_a, zone_b):
+        for zone in spec.zones:
+            if zone.name == name and zone.link is not None:
+                return zone.link
+    return LinkProfileSpec()
+
+
+def _link_factory_for(env, system, owner_name: str,
+                      owner_zone: Optional[str], boundary, rng,
+                      link_latency: float = 0.0002):
+    """Build the member-link factory for one upstream server's dispatcher.
+
+    Returns ``None`` when every hop is intra-zone with no boundary
+    override — the dispatcher then builds its legacy fixed-latency
+    links and the construction stays byte-identical to the zone-free
+    world.
+    """
+    spec = system.spec
+    zoned = spec is not None and bool(spec.zones)
+    if not zoned and boundary.link is None:
+        return None
+
+    def make_link(server) -> Link:
+        target_zone = getattr(server, "zone", None)
+        profile_spec = None
+        pair = None
+        if zoned and owner_zone is not None and target_zone is not None \
+                and owner_zone != target_zone:
+            pair = tuple(sorted((owner_zone, target_zone)))
+            profile_spec = (boundary.link
+                            if boundary.link is not None
+                            else _wan_profile_between(
+                                spec, owner_zone, target_zone))
+        elif not zoned and boundary.link is not None:
+            # Zone-free topology with an explicit boundary link: every
+            # hop on the boundary is a (uniform) WAN hop.
+            profile_spec = boundary.link
+        if profile_spec is None:
+            return Link(env, link_latency,
+                        name="{}->{}".format(owner_name, server.name))
+        link_name = "{}=>{}".format(owner_name, server.name)
+        link = Link(env, profile_spec.latency, name=link_name,
+                    profile=profile_spec.runtime(name=link_name),
+                    rng=rng, zone_pair=pair)
+        system.wan_links.append(link)
+        return link
+
+    return make_link
 
 
 def _make_host(env: "Environment", tier: TierSpec, index: int) -> Host:
@@ -402,15 +533,33 @@ def _make_host(env: "Environment", tier: TierSpec, index: int) -> Host:
                 cores=tier.cores, **kwargs)
 
 
-def _make_dispatcher(env, system, owner_name, boundary, downstream, depth,
-                     config, state_config, rng,
+def _make_dispatcher(env, system, owner_name, owner_zone, boundary,
+                     downstream, depth, config, state_config, rng,
                      policy_factory, mechanism_factory, resilience,
                      default_bundle):
     """One upstream server's dispatcher over the next tier's replicas."""
+    link_factory = _link_factory_for(env, system, owner_name, owner_zone,
+                                     boundary, rng,
+                                     link_latency=config.link_latency)
     if boundary.mode == "direct":
         dispatcher = DirectDispatcher(env, list(downstream),
-                                      link_latency=config.link_latency)
+                                      link_latency=config.link_latency,
+                                      link_factory=link_factory)
         system.direct_dispatchers.append(dispatcher)
+        system.dispatchers_by_depth.setdefault(depth, []).append(dispatcher)
+        return _maybe_level(env, system, owner_name, boundary, depth,
+                            dispatcher)
+    if boundary.mode == "sharded":
+        shard = boundary.effective_shard
+        dispatcher = ShardRouter(
+            env, owner_name + ".shards", list(downstream),
+            rng=rng,
+            virtual_nodes=shard.virtual_nodes,
+            key_space=shard.key_space,
+            skew=shard.skew,
+            link_factory=link_factory,
+            link_latency=config.link_latency)
+        system.shard_routers.append(dispatcher)
         system.dispatchers_by_depth.setdefault(depth, []).append(dispatcher)
         return _maybe_level(env, system, owner_name, boundary, depth,
                             dispatcher)
@@ -418,29 +567,71 @@ def _make_dispatcher(env, system, owner_name, boundary, downstream, depth,
         boundary, depth, policy_factory, mechanism_factory, default_bundle)
     boundary_config = (replace(config, pool_size=boundary.pool_size)
                        if boundary.pool_size is not None else config)
-    policy = make_policy()
-    if boundary.probe is not None or boundary.affinity is not None:
-        # configure() raises when the policy cannot consume the tuning
-        # (probe knobs on total_request, affinity on prequal, ...), so
-        # a spec cannot silently carry dead configuration.
-        policy.configure(probe=boundary.probe, affinity=boundary.affinity)
     weights = (system.spec.tiers[depth + 1].weights
                if system.spec is not None else None)
-    balancer = LoadBalancer(
-        env, owner_name + ".lb", downstream,
-        policy=policy,
-        mechanism=make_mechanism(),
-        rng=rng,
-        config=boundary_config,
-        state_config=state_config,
-        weights=weights,
-    )
-    system.balancers.append(balancer)
+    boundary_resilience = _boundary_resilience(boundary, depth, resilience)
+
+    def make_balancer(name, servers, zone_weights):
+        policy = make_policy()
+        if boundary.probe is not None or boundary.affinity is not None:
+            # configure() raises when the policy cannot consume the
+            # tuning (probe knobs on total_request, affinity on
+            # prequal, ...), so a spec cannot silently carry dead
+            # configuration.
+            policy.configure(probe=boundary.probe,
+                             affinity=boundary.affinity)
+        balancer = LoadBalancer(
+            env, name, servers,
+            policy=policy,
+            mechanism=make_mechanism(),
+            rng=rng,
+            config=boundary_config,
+            state_config=state_config,
+            weights=zone_weights,
+            link_factory=link_factory,
+        )
+        system.balancers.append(balancer)
+        return balancer
+
+    if boundary.hierarchy:
+        if boundary_resilience is not None \
+                and boundary_resilience.hedge is not None:
+            raise ConfigurationError(
+                "hedging is not supported on zone-hierarchy boundaries "
+                "— hedge through the zone-local balancers instead")
+        # Group the downstream replicas by zone, preserving replica
+        # order inside each zone; one zone-local balancer per group
+        # under a global locality-first router.
+        groups: dict[str, list] = {}
+        group_weights: dict[str, list] = {}
+        for index, server in enumerate(downstream):
+            zone = getattr(server, "zone", None)
+            groups.setdefault(zone, []).append(server)
+            if weights is not None:
+                group_weights.setdefault(zone, []).append(weights[index])
+        zone_balancers = {}
+        for zone in sorted(groups):
+            balancer = make_balancer(
+                "{}.{}.lb".format(owner_name, zone), groups[zone],
+                group_weights.get(zone))
+            _wire_resilience(env, system, balancer, boundary_resilience,
+                             rng)
+            zone_balancers[zone] = balancer
+        home_zone = (owner_zone if owner_zone in zone_balancers
+                     else sorted(zone_balancers)[0])
+        router = ZoneRouter(env, owner_name + ".zones", zone_balancers,
+                            home_zone=home_zone)
+        system.zone_routers.append(router)
+        # Membership churn routes through the router (it forwards to
+        # the owning zone's balancer).
+        system.dispatchers_by_depth.setdefault(depth, []).append(router)
+        return _maybe_level(env, system, owner_name, boundary, depth,
+                            router)
+    balancer = make_balancer(owner_name + ".lb", downstream, weights)
     # Membership churn applies to the balancer itself, never a wrapper.
     system.dispatchers_by_depth.setdefault(depth, []).append(balancer)
     dispatcher = _wire_resilience(
-        env, system, balancer,
-        _boundary_resilience(boundary, depth, resilience), rng)
+        env, system, balancer, boundary_resilience, rng)
     return _maybe_level(env, system, owner_name, boundary, depth,
                         dispatcher)
 

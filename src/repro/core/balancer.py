@@ -70,7 +70,9 @@ class LoadBalancer:
                  rng: np.random.Generator,
                  config: BalancerConfig | None = None,
                  state_config: StateConfig | None = None,
-                 weights: Optional[Sequence[float]] = None) -> None:
+                 weights: Optional[Sequence[float]] = None,
+                 link_factory: Optional[Callable[[object], Link]] = None
+                 ) -> None:
         if not backends:
             raise ConfigurationError("balancer needs at least one backend")
         if weights is not None:
@@ -88,13 +90,17 @@ class LoadBalancer:
         self._rng = rng
         # Kept for members added after construction (autoscaling).
         self._state_config = state_config
+        #: Builds the member link for a backend; ``None`` keeps the
+        #: legacy fixed-latency intra-cluster link.  The topology
+        #: builder passes one for zoned systems so cross-zone members
+        #: get WAN-profiled links.
+        self._link_factory = link_factory
         self.members = [
             BalancerMember(
                 env, server, index,
                 pool_size=self.config.pool_size,
                 state_config=state_config,
-                link=Link(env, self.config.link_latency,
-                          name="{}->{}".format(name, server.name)),
+                link=self._make_link(server),
                 trace_lb_values=self.config.trace_lb_values,
                 preconnect=self.config.preconnect,
             )
@@ -137,6 +143,12 @@ class LoadBalancer:
         # pool here (classic policies no-op, keeping them zero-event).
         self.policy.attach(self)
 
+    def _make_link(self, server) -> Link:
+        if self._link_factory is not None:
+            return self._link_factory(server)
+        return Link(self.env, self.config.link_latency,
+                    name="{}->{}".format(self.name, server.name))
+
     def _member_state_changed(self, member: BalancerMember) -> None:
         self._all_available = all(
             m.state is MemberState.AVAILABLE for m in self.members)
@@ -157,8 +169,7 @@ class LoadBalancer:
             self.env, server, self._member_serial,
             pool_size=self.config.pool_size,
             state_config=self._state_config,
-            link=Link(self.env, self.config.link_latency,
-                      name="{}->{}".format(self.name, server.name)),
+            link=self._make_link(server),
             trace_lb_values=self.config.trace_lb_values,
             preconnect=preconnect,
         )
@@ -420,7 +431,9 @@ class DirectDispatcher:
 
     def __init__(self, env: "Environment",
                  backend: "TomcatServer" | Sequence["TomcatServer"],
-                 link_latency: float = 0.0002) -> None:
+                 link_latency: float = 0.0002,
+                 link_factory: Optional[Callable[[object], Link]] = None
+                 ) -> None:
         backends = (list(backend) if isinstance(backend, Sequence)
                     else [backend])
         if not backends:
@@ -429,15 +442,20 @@ class DirectDispatcher:
         self.env = env
         self.backends = backends
         self._link_latency = link_latency
-        self.links = [Link(env, link_latency, name="direct->" + server.name)
-                      for server in backends]
+        self._link_factory = link_factory
+        self.links = [self._make_link(server) for server in backends]
         self.dispatches = 0
+
+    def _make_link(self, server) -> Link:
+        if self._link_factory is not None:
+            return self._link_factory(server)
+        return Link(self.env, self._link_latency,
+                    name="direct->" + server.name)
 
     def add_backend(self, server) -> None:
         """Join ``server`` to the static round-robin rotation."""
         self.backends.append(server)
-        self.links.append(Link(self.env, self._link_latency,
-                               name="direct->" + server.name))
+        self.links.append(self._make_link(server))
 
     def remove_backend(self, server) -> None:
         """Drop ``server`` from the rotation (in-flight work completes
@@ -471,11 +489,116 @@ class DirectDispatcher:
                 if tracer is not None else None)
         reply: Event = Event(self.env)
         try:
-            yield link.delay()
-            backend.submit(request, reply)
-            yield reply
-            yield link.delay()
+            if link.profile is None:
+                yield link.delay()
+                backend.submit(request, reply)
+                yield reply
+                yield link.delay()
+            else:
+                yield from link.transit(request)
+                backend.submit(request, reply)
+                yield reply
+                yield from link.transit(request)
         finally:
             if tracer is not None:
                 tracer.finish(span)
         return request  # statan: ignore[PROC003] -- process value
+
+
+class ZoneRouter:
+    """Locality-first routing over per-zone load balancers.
+
+    The zone-hierarchy alternative to one flat balancer: the upstream
+    server keeps a *zone-local* :class:`LoadBalancer` per zone and
+    prefers its own zone — a request only crosses the WAN when the
+    local zone has no dispatchable candidate (every local member in
+    Error), at which point it *spills over* to the remaining zones in
+    deterministic (sorted) order.  Whether that containment actually
+    helps against millibottlenecks is the experiment, not a premise.
+    """
+
+    def __init__(self, env: "Environment", name: str,
+                 zone_balancers: dict[str, LoadBalancer],
+                 home_zone: str) -> None:
+        if not zone_balancers:
+            raise ConfigurationError(
+                "zone router needs at least one zone balancer")
+        if home_zone not in zone_balancers:
+            raise ConfigurationError(
+                "zone router {!r}: home zone {!r} has no balancer "
+                "(zones: {})".format(name, home_zone,
+                                     ", ".join(sorted(zone_balancers))))
+        self.env = env
+        self.name = name
+        self.home_zone = home_zone
+        #: zone name -> zone-local balancer (stable, sorted iteration).
+        self.zone_balancers = dict(sorted(zone_balancers.items()))
+        #: Spill order after the home zone: sorted remote zone names.
+        self._spill_zones = [zone for zone in self.zone_balancers
+                             if zone != home_zone]
+        self.dispatches = 0
+        self.local_dispatches = 0
+        #: Requests the home zone could not place (all local members
+        #: Error) that were re-dispatched across the WAN.
+        self.spillovers = 0
+
+    @property
+    def backends(self) -> list:
+        """Every live backend across all zones (membership protocol)."""
+        servers = []
+        for balancer in self.zone_balancers.values():
+            servers.extend(m.server for m in balancer.members)
+        return servers
+
+    def balancer_for(self, server) -> LoadBalancer:
+        """The zone-local balancer owning ``server``'s zone."""
+        zone = getattr(server, "zone", None) or self.home_zone
+        try:
+            return self.zone_balancers[zone]
+        except KeyError:
+            raise ConfigurationError(
+                "zone router {!r} has no balancer for zone {!r}".format(
+                    self.name, zone))
+
+    def add_backend(self, server) -> None:
+        """Join a (scaled-in) backend to its zone's balancer, cold."""
+        self.balancer_for(server).add_member(server, preconnect=False)
+
+    def retire_member(self, name: str) -> BalancerMember:
+        """Retire the member named ``name`` from whichever zone owns it."""
+        for balancer in self.zone_balancers.values():
+            if any(member.name == name for member in balancer.members):
+                return balancer.retire_member(name)
+        raise ConfigurationError(
+            "{} has no member named {}".format(self.name, name))
+
+    def dispatch(self, request: Request):
+        """Process generator: locality-first dispatch with spillover."""
+        self.dispatches += 1
+        try:
+            result = yield from self.zone_balancers[
+                self.home_zone].dispatch(request)
+            self.local_dispatches += 1
+            return result  # statan: ignore[PROC003] -- process value
+        except NoCandidateError:
+            pass
+        tracer = self.env.tracer
+        for zone in list(self._spill_zones):
+            if tracer is not None:
+                tracer.instant(request.request_id, "zone.spillover",
+                               router=self.name, to_zone=zone)
+            try:
+                result = yield from self.zone_balancers[zone].dispatch(
+                    request)
+                self.spillovers += 1
+                return result  # statan: ignore[PROC003] -- process value
+            except NoCandidateError:
+                continue
+        raise NoCandidateError(
+            "{}: every zone's backends are in Error state".format(
+                self.name))
+
+    def __repr__(self) -> str:
+        return "<ZoneRouter {} home={} zones={} spillovers={}>".format(
+            self.name, self.home_zone,
+            ",".join(self.zone_balancers), self.spillovers)

@@ -204,10 +204,17 @@ class BalancerMember:
     def send(self, request: Request):
         """Process generator: forward ``request`` and await the response."""
         reply: Event = Event(self.env)
-        yield self.link.delay()
-        self.server.submit(request, reply)
-        yield reply
-        yield self.link.delay()
+        if self.link.profile is None:
+            yield self.link.delay()
+            self.server.submit(request, reply)
+            yield reply
+            yield self.link.delay()
+        else:
+            # Cross-zone hop: pay WAN RTT/loss on both directions.
+            yield from self.link.transit(request)
+            self.server.submit(request, reply)
+            yield reply
+            yield from self.link.transit(request)
 
     def __repr__(self) -> str:
         return "<Member {} {} lb={:.1f} inflight={}>".format(

@@ -29,6 +29,10 @@ perf-hot-path  PERF00x direct ``heapq`` use outside the calendar-queue
 queue-bound    QUEUE001 unbounded ``Store``/``deque``/``Queue``
                        construction in ``tiers/``/``controlplane/``
                        request-path code (no capacity/maxlen/maxsize)
+shard-ring     SHARD001 consistent-hash ring construction from salted
+                       ``hash()``, RNG draws, or unordered set
+                       iteration (ring must be a pure function of
+                       membership)
 ============== ======= ========================================================
 
 Every check here exists because its bug class silently corrupts a
@@ -49,7 +53,7 @@ __all__ = [
     "DeterminismRule", "ProcessProtocolRule", "ResourceSafetyRule",
     "FloatTimeComparisonRule", "MissingSlotsRule", "BadDelayRule",
     "UnboundedRetryRule", "SeedThreadingRule", "PerfHotPathRule",
-    "QueueBoundRule", "default_rules", "RULES",
+    "QueueBoundRule", "ShardRingRule", "default_rules", "RULES",
 ]
 
 
@@ -912,6 +916,84 @@ class QueueBoundRule(Rule):
                        short, bound))
 
 
+# -- shard-ring determinism -----------------------------------------------
+
+#: RNG draw methods whose presence in ring construction makes the ring
+#: a function of generator state instead of membership.
+_RNG_DRAWS = {
+    "random", "integers", "choice", "shuffle", "uniform", "normal",
+    "permutation", "randint", "randrange", "getrandbits", "sample",
+}
+
+
+class ShardRingRule(Rule):
+    """Consistent-hash rings must be pure functions of membership.
+
+    A shard ring decides which backend owns which key; every process
+    (and every run) must compute the *same* ring, or resharding moves
+    keys nondeterministically and golden traces diverge across hosts.
+    Three constructions break that: Python's salted ``hash()`` (varies
+    per process unless ``PYTHONHASHSEED`` is pinned), any RNG draw
+    (seeded or not — ring positions must depend on member names only,
+    never on generator state), and iteration over an unordered ``set``
+    (insertion order leaks into vnode placement).  Ring code uses keyed
+    stable hashes (``blake2b``) over the *ordered* member list — see
+    :mod:`repro.tiers.shard` for the sanctioned idiom.
+    """
+
+    id = "shard-ring"
+    description = "nondeterministic consistent-hash ring construction"
+    codes = ("SHARD001",)
+
+    def make_visitor(self, ctx: Context) -> ast.NodeVisitor:
+        rule = self
+
+        class Visitor(_FunctionRuleVisitor):
+            def check_function(self, node) -> None:
+                if "ring" in node.name.lower():
+                    rule._check_ring_function(ctx, node)
+
+        return Visitor(ctx)
+
+    def _check_ring_function(self, ctx: Context, func: ast.AST) -> None:
+        for node in _own_nodes(func):
+            if isinstance(node, ast.Call):
+                self._check_call(ctx, node)
+            elif isinstance(node, (ast.For, ast.comprehension)):
+                target = node.iter
+                if isinstance(target, (ast.Set, ast.SetComp)) or (
+                        isinstance(target, ast.Call)
+                        and _dotted(target.func) in ("set", "frozenset")):
+                    ctx.report(
+                        node, "SHARD001", self.id, Severity.WARNING,
+                        "ring construction iterates an unordered set: "
+                        "insertion order leaks into vnode placement, so "
+                        "two processes compute different rings; iterate "
+                        "the ordered member list (or sorted(...))")
+
+    def _check_call(self, ctx: Context, node: ast.Call) -> None:
+        name = _dotted(node.func)
+        if name is None:
+            return
+        if name == "hash":
+            ctx.report(node, "SHARD001", self.id, Severity.WARNING,
+                       "ring position from salted builtin hash(): varies "
+                       "per process unless PYTHONHASHSEED is pinned; use "
+                       "a keyed stable hash (hashlib.blake2b)")
+            return
+        parts = name.lower().split(".")
+        if parts[-1] not in _RNG_DRAWS:
+            return
+        if (parts[0] in ("random", "np", "numpy")
+                or any("rng" in part or "random" in part
+                       for part in parts[:-1])):
+            ctx.report(node, "SHARD001", self.id, Severity.WARNING,
+                       "RNG draw inside ring construction: the ring must "
+                       "be a pure function of membership (same members -> "
+                       "same ring in every process); derive positions "
+                       "from stable hashes of member names instead")
+
+
 #: The default ruleset, in reporting order.
 RULES: tuple[Rule, ...] = (
     DeterminismRule(),
@@ -924,6 +1006,7 @@ RULES: tuple[Rule, ...] = (
     SeedThreadingRule(),
     PerfHotPathRule(),
     QueueBoundRule(),
+    ShardRingRule(),
 )
 
 

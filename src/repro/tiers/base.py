@@ -218,6 +218,22 @@ class FrontendTier(TierServer):
         self._span_error = role + ".error_503"
         self._span_shed = role + ".shed"
 
+    def crash(self) -> None:
+        """A dead frontend host refuses packets at the kernel.
+
+        Unlike an application-level stall (where the kernel keeps
+        accepting — the paper's silent-absorption mechanism), a crashed
+        frontend's socket answers nothing: clients see the same silence
+        as an accept-queue drop and retransmit on their RTO, eventually
+        failing over to another frontend only if they have one.
+        """
+        super().crash()
+        self.socket.refusing = True
+
+    def recover(self) -> None:
+        super().recover()
+        self.socket.refusing = False
+
     def attach_dispatcher(self, dispatcher: Dispatcher) -> None:
         """Wire the downstream dispatcher and start the worker threads."""
         if self.dispatcher is not None:

@@ -53,6 +53,15 @@ BUCKET_OF_SPAN: dict[str, str] = {
     # measurement overhead, never a VLRT cause — an explicit entry so
     # no suffix rule can ever attribute it as queue wait.
     "prequal.probe": "probe.wait",
+    # Geo topologies: WAN propagation is its own bucket so cross-zone
+    # RTT is never confused with retransmission backoff — the nested
+    # tcp.retransmit_wait spans inside a lossy transit are clipped out
+    # into "retransmission" by decompose's child clipping.
+    "wan.transit": "wan.transit",
+    # Cache-aside miss: the envelope around the downstream call.  Child
+    # clipping hands the downstream's own queue/service time to those
+    # tiers' buckets; what remains here is pure miss overhead.
+    "cache.miss_penalty": "cache.miss_penalty",
 }
 
 #: Buckets that are queue wait somewhere in the stack.  The balancer's

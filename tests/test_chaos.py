@@ -8,6 +8,7 @@ import pytest
 from repro.cluster import (
     CHAOS_DURATION,
     FAULT_SCENARIOS,
+    ZONE_FAULT_KEYS,
     ChaosSuite,
     CrashFault,
     ExperimentRunner,
@@ -30,7 +31,10 @@ class TestFaultScenarios:
         assert set(FAULT_SCENARIOS) == {
             "none", "crash", "transient_crash", "slow", "packet_loss",
             "link_latency", "burst", "recurring_slow",
+            "zone_outage", "wan_degradation",
         }
+        assert ZONE_FAULT_KEYS == {"zone_outage", "wan_degradation"}
+        assert ZONE_FAULT_KEYS < set(FAULT_SCENARIOS)
 
     def test_windows_scale_with_duration(self):
         for duration in (8.0, 40.0):
@@ -52,7 +56,10 @@ class TestFaultScenarios:
 class TestSuiteConstruction:
     def test_defaults(self):
         suite = ChaosSuite()
-        assert suite.fault_keys == sorted(FAULT_SCENARIOS)
+        # Zone faults need a zoned topology, so the default grid skips
+        # them (they have no target in the classic build).
+        assert suite.fault_keys == sorted(
+            set(FAULT_SCENARIOS) - ZONE_FAULT_KEYS)
         assert suite.remedy_keys == ["none", "full"]
         assert suite.bundle_keys == ["original_total_request",
                                      "current_load_modified"]

@@ -732,7 +732,7 @@ class TestEngine:
 
     def test_every_rule_has_id_and_codes(self):
         ids = [rule.id for rule in RULES]
-        assert len(ids) == len(set(ids)) == 10
+        assert len(ids) == len(set(ids)) == 11
         for rule in RULES:
             assert rule.codes, rule.id
             assert rule.description, rule.id
